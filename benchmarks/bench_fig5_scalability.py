@@ -1,0 +1,115 @@
+"""Figure 5: SHP-2 scalability in the distributed setting.
+
+* **5a** — total time (runtime × machines) as a function of |E| for
+  k ∈ {2, 32, 512, 8192, 131072}: the paper's log-scale plot is straight
+  lines, i.e. total time ∝ |E| · log k.  We verify both proportionalities
+  on the modeled paper-scale numbers *and* measure the |E| scaling live by
+  metering protocol messages on growing stand-ins.
+* **5b** — run-time and total time on FB-10B with 4, 8, 16 machines:
+  sublinear speedup (communication grows), increasing total time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import bench_dataset
+
+from repro import SHPConfig
+from repro.bench import format_series, format_table, record
+from repro.baselines import GraphShape, estimate_shp
+from repro.distributed import ClusterSpec
+from repro.distributed_shp import DistributedSHP
+from repro.hypergraph import DATASETS, load_dataset
+
+FIG5A_DATASETS = ["FB-2B", "FB-5B", "FB-10B"]
+FIG5A_K = [2, 32, 512, 8192, 131072]
+
+
+def _fig5a_modeled():
+    cluster = ClusterSpec(num_workers=4)
+    rows = []
+    for name in FIG5A_DATASETS:
+        spec = DATASETS[name]
+        shape = GraphShape(name, spec.paper_q, spec.paper_d, spec.paper_e, spec.family)
+        row: dict[str, object] = {"hypergraph": name, "|E|": spec.paper_e}
+        for k in FIG5A_K:
+            est = estimate_shp(shape, k, cluster, mode="2")
+            row[f"k={k}"] = round(est.minutes * 4, 1)  # total = runtime × machines
+        rows.append(row)
+    return rows
+
+
+def _fig5a_live():
+    """Measured message volume vs |E| on growing graphs (linearity check)."""
+    rows = []
+    for scale_name, factor in (("small", 0.5), ("medium", 1.0), ("large", 2.0)):
+        graph = load_dataset("FB-2B", scale=0.0003 * factor, seed=5)
+        config = SHPConfig(k=8, seed=3, iterations_per_bisection=3, swap_mode="bernoulli")
+        run = DistributedSHP(config, mode="2").run(graph)
+        rows.append(
+            {
+                "run": scale_name,
+                "|E|": graph.num_edges,
+                "messages": run.metrics.total_messages,
+                "msg per edge": round(run.metrics.total_messages / graph.num_edges, 2),
+                "supersteps": run.supersteps,
+            }
+        )
+    return rows
+
+
+def _fig5b():
+    spec = DATASETS["FB-10B"]
+    shape = GraphShape("FB-10B", spec.paper_q, spec.paper_d, spec.paper_e, spec.family)
+    machines = [4, 8, 16]
+    runtime = []
+    total = []
+    for m in machines:
+        est = estimate_shp(shape, 8192, ClusterSpec(num_workers=m), mode="2")
+        runtime.append(round(est.minutes, 1))
+        total.append(round(est.minutes * m, 1))
+    return machines, runtime, total
+
+
+def test_fig5_scalability(benchmark):
+    live = benchmark.pedantic(_fig5a_live, rounds=1, iterations=1)
+    modeled = _fig5a_modeled()
+    machines, runtime, total = _fig5b()
+
+    text = format_table(
+        modeled, title="Figure 5a — modeled total time (minutes) vs |E| (4 machines)"
+    )
+    text += "\n" + format_table(
+        live, title="Figure 5a (live) — measured protocol messages vs |E|"
+    )
+    text += "\n" + format_series(
+        "machines",
+        machines,
+        {"run-time (min)": runtime, "total time (min)": total},
+        title="Figure 5b — FB-10B, k=8192 (paper: 4->16 machines gives <4x speedup)",
+    )
+    record(
+        "fig5_scalability", text,
+        data={"modeled": modeled, "live": live,
+              "fig5b": {"machines": machines, "runtime": runtime, "total": total}},
+    )
+
+    # Shape assertions.
+    # (1) total time ∝ |E| at fixed k (modeled grid).
+    es = np.array([row["|E|"] for row in modeled], dtype=float)
+    t32 = np.array([row["k=32"] for row in modeled], dtype=float)
+    ratio = (t32 / es) / (t32[0] / es[0])
+    assert np.all((ratio > 0.5) & (ratio < 2.0))
+    # (2) total time grows ~log k: doubling k multiplies time by a constant.
+    row0 = modeled[0]
+    increments = [
+        row0[f"k={b}"] / row0[f"k={a}"]
+        for a, b in zip(FIG5A_K[1:], FIG5A_K[2:])
+    ]
+    assert max(increments) < 3.0  # far below the ∝k growth of SHP-k
+    # (3) live layer: messages scale linearly with |E| (within 2x).
+    per_edge = [row["msg per edge"] for row in live]
+    assert max(per_edge) < 2.0 * min(per_edge)
+    # (4) Figure 5b: sublinear speedup, growing total time.
+    assert runtime[0] > runtime[-1] > runtime[0] / 4
+    assert total[-1] > total[0]

@@ -1,0 +1,47 @@
+"""Shared benchmark configuration: scales, dataset cache, paper references.
+
+All benches run at laptop scale (see DESIGN.md Section 5): every table
+prints published sizes next to generated ones, and `REPRO_BENCH_SCALE`
+multiplies the default scales for bigger runs (e.g. ``REPRO_BENCH_SCALE=4
+pytest benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.hypergraph import load_dataset
+
+#: Per-dataset default scales: chosen so each stand-in lands at 30-150k pins,
+#: keeping the full benchmark suite in the minutes range.
+BENCH_SCALES: dict[str, float] = {
+    "email-Enron": 0.20,
+    "soc-Epinions": 0.15,
+    "web-Stanford": 0.04,
+    "web-BerkStan": 0.016,
+    "soc-Pokec": 0.004,
+    "soc-LJ": 0.0016,
+    "FB-10M": 0.08,
+    "FB-50M": 0.017,
+    "FB-2B": 0.0004,
+    "FB-5B": 0.00017,
+    "FB-10B": 0.00008,
+}
+
+
+def scale_factor() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@lru_cache(maxsize=32)
+def bench_dataset(name: str, seed: int = 0):
+    """Dataset stand-in at bench scale (cached across benchmark files)."""
+    return load_dataset(name, scale=BENCH_SCALES[name] * scale_factor(), seed=seed)
+
+
+@pytest.fixture(scope="session")
+def dataset_loader():
+    return bench_dataset

@@ -1,0 +1,61 @@
+"""Distributed SHP on a simulated Giraph cluster (Section 3.2).
+
+Runs the real 4-superstep protocol — data vertices announce bucket deltas,
+queries maintain and scatter neighbor data, the master matches gain
+histograms and broadcasts move probabilities — on an in-process 4-worker
+cluster with full message/byte/memory metering, then prints the per-phase
+communication profile and the modeled wall-clock.
+
+Run:  python examples/distributed_cluster.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SHPConfig
+from repro.core import balanced_random_assignment
+from repro.distributed import ClusterSpec, CostModel
+from repro.distributed_shp import DistributedSHP
+from repro.hypergraph import community_bipartite
+from repro.objectives import average_fanout, imbalance
+
+
+def main() -> None:
+    graph = community_bipartite(
+        num_queries=1500, num_data=2000, num_edges=14000,
+        num_communities=24, mixing=0.2, seed=5,
+    )
+    print(f"input: {graph}")
+
+    k = 16
+    config = SHPConfig(k=k, seed=7, iterations_per_bisection=8, swap_mode="bernoulli")
+    cluster = ClusterSpec(num_workers=4)
+    print(f"running distributed SHP-2 (k={k}) on {cluster.num_workers} workers ...")
+    run = DistributedSHP(config, cluster=cluster, mode="2").run(graph)
+
+    rng = np.random.default_rng(0)
+    random_fanout = average_fanout(
+        graph, balanced_random_assignment(graph.num_data, k, rng), k
+    )
+    fanout = average_fanout(graph, run.assignment, k)
+    print(f"\nfanout: random {random_fanout:.2f} -> SHP {fanout:.2f} "
+          f"(imbalance {imbalance(run.assignment, k):.3f})")
+    print(f"cycles: {run.cycles}, supersteps: {run.supersteps}, "
+          f"halted by master: {run.halted_by_master}")
+
+    print("\nper-phase communication profile:")
+    for phase, stats in run.metrics.by_phase().items():
+        print(f"  {phase:20s} messages={int(stats['messages']):>9d} "
+              f"bytes={int(stats['bytes']):>11d}")
+
+    cost = CostModel()
+    print(f"\npeak worker memory: {run.metrics.peak_worker_memory() / 1e6:.1f} MB")
+    print(f"modeled cluster time: {run.metrics.modeled_seconds(cost):.1f} s "
+          f"(in-process wall: {run.metrics.wall_seconds:.1f} s)")
+    print("\nNote: superstep 2 ('neighbor data') dominates traffic, bounded by")
+    print("fanout x |E| per iteration, exactly as Section 3.3 predicts.")
+
+
+if __name__ == "__main__":
+    main()

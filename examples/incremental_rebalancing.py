@@ -1,0 +1,72 @@
+"""Incremental repartitioning after graph growth (Section 5, req. (i)).
+
+A production shard map cannot be rebuilt from scratch every night — moving
+a record is expensive.  This example evolves a partitioned workload (new
+queries arrive), then repairs the partition with a warm start and a move
+penalty, showing the churn/quality dial.
+
+Run:  python examples/incremental_rebalancing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SHPConfig, incremental_update, shp_2
+from repro.hypergraph import BipartiteGraph, community_bipartite
+from repro.objectives import average_fanout
+
+K = 16
+
+
+def evolve(graph: BipartiteGraph, seed: int) -> BipartiteGraph:
+    """Overlay a batch of new cross-community queries (workload drift)."""
+    overlay = community_bipartite(
+        num_queries=graph.num_queries // 10,
+        num_data=graph.num_data,
+        num_edges=graph.num_edges // 10,
+        mixing=0.5,
+        seed=seed,
+    )
+    q = np.concatenate([graph.q_of_edge, overlay.q_of_edge + graph.num_queries])
+    d = np.concatenate([graph.q_indices, overlay.q_indices])
+    return BipartiteGraph.from_edges(
+        q, d, num_queries=graph.num_queries + overlay.num_queries,
+        num_data=graph.num_data, dedupe=False, name="evolved",
+    )
+
+
+def main() -> None:
+    base = community_bipartite(4000, 6000, 40000, num_communities=64, mixing=0.2, seed=17)
+    print(f"day 0 workload: {base}")
+    previous = shp_2(base, K, seed=1).assignment
+    print(f"day 0 fanout: {average_fanout(base, previous, K):.3f}")
+
+    evolved = evolve(base, seed=23)
+    stale = average_fanout(evolved, previous, K)
+    print(f"\nday 1 workload: {evolved}")
+    print(f"stale partition on day-1 traffic: fanout {stale:.3f}")
+
+    print(f"\n{'penalty':>8s} {'churn %':>8s} {'fanout':>8s}   (records moved vs quality)")
+    for penalty in (0.0, 0.05, 0.1, 0.3):
+        outcome = incremental_update(
+            evolved, previous,
+            SHPConfig(k=K, seed=2, max_iterations=15, move_penalty=penalty),
+        )
+        fanout = average_fanout(evolved, outcome.result.assignment, K)
+        print(f"{penalty:8.2f} {100 * outcome.churn:8.1f} {fanout:8.3f}")
+
+    scratch = shp_2(evolved, K, seed=3)
+    from repro.core import churn as churn_fn
+
+    print(
+        f"{'scratch':>8s} {100 * churn_fn(previous, scratch.assignment):8.1f} "
+        f"{average_fanout(evolved, scratch.assignment, K):8.3f}"
+    )
+    print("\nA small move penalty recovers most of the quality at a fraction")
+    print("of the migration cost; re-partitioning from scratch relabels nearly")
+    print("every record (bucket ids are arbitrary) and is rarely worth it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Storage sharding: the paper's motivating application (Section 4.2.1).
+
+Scenario: a social network's user records live on 40 storage servers;
+rendering a profile page multi-gets the user's friends' records.  We shard
+the records three ways — random, hash, and SHP — replay a Zipf-skewed
+traffic sample against the sharded key-value store, and compare fanout,
+latency, and storage-tier CPU.
+
+Run:  python examples/storage_sharding.py
+"""
+
+from __future__ import annotations
+
+from repro import shp_2
+from repro.baselines import hash_partitioner, random_partitioner
+from repro.hypergraph import darwini_bipartite
+from repro.sharding import LatencyModel, replay_traffic
+from repro.workloads import sample_queries
+
+NUM_SERVERS = 40
+NUM_USERS = 8000
+
+
+def main() -> None:
+    print(f"generating a Darwini-like friendship workload for {NUM_USERS} users ...")
+    graph = darwini_bipartite(NUM_USERS, avg_degree=40, clustering=0.4, seed=1)
+    print(f"  {graph}")
+
+    trace = sample_queries(graph, 3000, skew=0.8, seed=2)
+    latency = LatencyModel(base_ms=1.0, sigma=1.0, size_ms_per_record=0.02)
+
+    shardings = {
+        "random": random_partitioner(graph, NUM_SERVERS, seed=3).assignment,
+        "hash": hash_partitioner(graph, NUM_SERVERS).assignment,
+        "SHP-2": shp_2(graph, NUM_SERVERS, seed=3).assignment,
+    }
+
+    print(f"\n{'sharding':>8s} {'fanout':>8s} {'mean lat':>9s} {'p99 lat':>8s} {'CPU':>8s}")
+    baseline_latency = None
+    for name, assignment in shardings.items():
+        replay = replay_traffic(graph, assignment, NUM_SERVERS, trace, latency, seed=4)
+        if baseline_latency is None:
+            baseline_latency = replay.mean_latency()
+        print(
+            f"{name:>8s} {replay.mean_fanout():8.1f} "
+            f"{replay.mean_latency():8.2f}t {replay.latency_percentile(99):7.2f}t "
+            f"{replay.cpu_proxy():8.0f}"
+        )
+
+    shp_replay = replay_traffic(graph, shardings["SHP-2"], NUM_SERVERS, trace, latency, seed=4)
+    speedup = baseline_latency / shp_replay.mean_latency()
+    print(
+        f"\nSHP sharding answers the same traffic {speedup:.1f}x faster on average\n"
+        "(the paper reports ~2x from fanout 40 -> 10, and >50% CPU reduction\n"
+        "after deploying to a production graph database)."
+    )
+
+
+if __name__ == "__main__":
+    main()

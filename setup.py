@@ -1,0 +1,12 @@
+"""Setup shim for environments without the `wheel` package.
+
+PEP 660 editable installs require setuptools >= 70 or the `wheel` package;
+this offline environment has neither, so `pip install -e .` falls back to
+the legacy path via this file (`pip install -e . --no-build-isolation
+--no-use-pep517` also works explicitly).  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

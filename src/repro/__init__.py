@@ -1,0 +1,73 @@
+"""repro — Social Hash Partitioner (SHP) reproduction.
+
+A scalable hypergraph partitioner minimizing query fanout via probabilistic
+fanout optimization (Kabiljo et al., *Social Hash Partitioner: A Scalable
+Distributed Hypergraph Partitioner*, VLDB 2017).
+
+Quickstart::
+
+    from repro import shp_2, load_dataset, evaluate_partition
+
+    graph = load_dataset("email-Enron", scale=0.1, seed=7)
+    result = shp_2(graph, k=8, seed=7)
+    print(evaluate_partition(graph, result.assignment, k=8))
+
+Package layout
+--------------
+``repro.hypergraph``
+    Bipartite/hypergraph data structures, IO, generators, Table 1 datasets.
+``repro.objectives``
+    p-fanout / fanout / clique-net objectives and quality metrics.
+``repro.core``
+    SHP-k and SHP-2 optimizers (Algorithm 1 + Section 3.4 refinements).
+``repro.distributed`` / ``repro.distributed_shp``
+    Giraph-like vertex-centric engine and the 4-superstep SHP job.
+``repro.baselines``
+    Comparison partitioners (random, hash, label propagation, multilevel FM,
+    Parkway-like parallel multilevel, spectral) and the Table 3 resource model.
+``repro.sharding`` / ``repro.workloads``
+    Storage-sharding simulator: KV store, latency model, traffic replay.
+``repro.bench``
+    Experiment harness regenerating every table and figure.
+"""
+
+from .core import (
+    SHP2Partitioner,
+    SHPConfig,
+    SHPKPartitioner,
+    incremental_update,
+    partition_multidim,
+    shp_2,
+    shp_k,
+)
+from .hypergraph import (
+    BipartiteGraph,
+    Hypergraph,
+    load_dataset,
+)
+from .objectives import (
+    average_fanout,
+    average_pfanout,
+    evaluate_partition,
+    get_objective,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BipartiteGraph",
+    "Hypergraph",
+    "SHPConfig",
+    "SHPKPartitioner",
+    "SHP2Partitioner",
+    "shp_k",
+    "shp_2",
+    "incremental_update",
+    "partition_multidim",
+    "load_dataset",
+    "average_fanout",
+    "average_pfanout",
+    "evaluate_partition",
+    "get_objective",
+    "__version__",
+]

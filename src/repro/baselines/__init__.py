@@ -1,0 +1,101 @@
+"""Baseline partitioners and the Table 3 resource model.
+
+The registry exposes every partitioner behind one calling convention::
+
+    result = get_partitioner("mondriaan-like")(graph, k=32, epsilon=0.05, seed=1)
+
+Names mirror the paper's comparison set; ``*-like`` marks our
+implementations of the closed tools' algorithm families (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.result import PartitionResult
+from ..core.shp_2 import shp_2
+from ..core.shp_k import shp_k
+from ..hypergraph.bipartite import BipartiteGraph
+from .label_propagation import label_propagation_partitioner
+from .multilevel import MultilevelPartitioner, multilevel_partition
+from .parkway_like import CoordinatorProfile, ParkwayLikePartitioner
+from .resource_model import (
+    GraphShape,
+    RunEstimate,
+    TEN_HOURS_MINUTES,
+    calibrate_cost_model,
+    estimate_parkway_like,
+    estimate_shp,
+    estimate_zoltan_like,
+    expected_random_fanout,
+)
+from .simple import hash_partitioner, random_partitioner
+from .spectral import spectral_partitioner
+
+__all__ = [
+    "get_partitioner",
+    "partitioner_names",
+    "random_partitioner",
+    "hash_partitioner",
+    "label_propagation_partitioner",
+    "MultilevelPartitioner",
+    "multilevel_partition",
+    "ParkwayLikePartitioner",
+    "CoordinatorProfile",
+    "spectral_partitioner",
+    "GraphShape",
+    "RunEstimate",
+    "TEN_HOURS_MINUTES",
+    "estimate_shp",
+    "estimate_zoltan_like",
+    "estimate_parkway_like",
+    "expected_random_fanout",
+    "calibrate_cost_model",
+]
+
+Partitioner = Callable[..., PartitionResult]
+
+
+def _shp_k(graph: BipartiteGraph, k: int, epsilon: float = 0.05, seed: int = 0, **kw):
+    return shp_k(graph, k, epsilon=epsilon, seed=seed, **kw)
+
+
+def _shp_2(graph: BipartiteGraph, k: int, epsilon: float = 0.05, seed: int = 0, **kw):
+    return shp_2(graph, k, epsilon=epsilon, seed=seed, **kw)
+
+
+def _multilevel(style: str):
+    def run(graph: BipartiteGraph, k: int, epsilon: float = 0.05, seed: int = 0, **_):
+        return multilevel_partition(graph, k, epsilon=epsilon, seed=seed, style=style)
+
+    return run
+
+
+def _parkway(graph: BipartiteGraph, k: int, epsilon: float = 0.05, seed: int = 0, **_):
+    return ParkwayLikePartitioner(k=k, epsilon=epsilon, seed=seed).partition(graph)
+
+
+_REGISTRY: dict[str, Partitioner] = {
+    "random": random_partitioner,
+    "hash": hash_partitioner,
+    "label-prop": label_propagation_partitioner,
+    "shp-k": _shp_k,
+    "shp-2": _shp_2,
+    "mondriaan-like": _multilevel("mondriaan"),
+    "zoltan-like": _multilevel("zoltan"),
+    "parkway-like": _parkway,
+    "spectral": spectral_partitioner,
+}
+
+
+def partitioner_names() -> list[str]:
+    """All registry names, in comparison-table order."""
+    return list(_REGISTRY)
+
+
+def get_partitioner(name: str) -> Partitioner:
+    """Look up a partitioner by registry name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown partitioner {name!r}; known: {', '.join(_REGISTRY)}")
+    return _REGISTRY[key]

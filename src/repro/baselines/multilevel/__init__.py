@@ -1,0 +1,19 @@
+"""Multi-level hypergraph partitioning (coarsen / initial / FM refine)."""
+
+from .coarsen import CoarseLevel, coarsen, coarsen_once
+from .fm import FMStats, cut_size, fm_pass, fm_refine, initial_gains
+from .partitioner import STYLES, MultilevelPartitioner, multilevel_partition
+
+__all__ = [
+    "CoarseLevel",
+    "coarsen",
+    "coarsen_once",
+    "FMStats",
+    "fm_pass",
+    "fm_refine",
+    "initial_gains",
+    "cut_size",
+    "MultilevelPartitioner",
+    "multilevel_partition",
+    "STYLES",
+]

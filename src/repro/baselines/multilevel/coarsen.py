@@ -1,0 +1,144 @@
+"""Hypergraph coarsening via heavy-edge matching.
+
+The multi-level paradigm (Section 2: hMetis, PaToH, Mondriaan, Parkway,
+Zoltan all use it) repeatedly contracts pairs of vertices that co-occur in
+many hyperedges, producing a sequence of smaller hypergraphs that
+approximate the original.  We score pairs with the standard normalized
+heavy-edge rule — each query of degree ``d`` contributes ``1/(d−1)`` to the
+pairs it induces — sampling a ring of pairs per query so the expansion stays
+linear in the pin count rather than quadratic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...hypergraph.bipartite import BipartiteGraph
+
+__all__ = ["CoarseLevel", "coarsen_once", "coarsen"]
+
+
+@dataclass
+class CoarseLevel:
+    """One level of the coarsening hierarchy."""
+
+    graph: BipartiteGraph
+    weights: np.ndarray  # coarse vertex weights (contracted fine weights)
+    parent_map: np.ndarray  # fine vertex id -> coarse vertex id
+
+
+def _ring_pairs(graph: BipartiteGraph, rng: np.random.Generator, max_degree: int):
+    """Sample candidate contraction pairs: a shuffled ring per query."""
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    ws: list[np.ndarray] = []
+    for q in range(graph.num_queries):
+        pins = graph.query_neighbors(q)
+        d = pins.size
+        if d < 2:
+            continue
+        if d > max_degree:
+            pins = rng.choice(pins, size=max_degree, replace=False)
+            d = max_degree
+        shuffled = rng.permutation(pins)
+        us.append(shuffled)
+        vs.append(np.roll(shuffled, -1))
+        ws.append(np.full(d, 1.0 / (d - 1)))
+    if not us:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty(0, dtype=np.float64)
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    w = np.concatenate(ws)
+    keep = u != v
+    u, v, w = u[keep], v[keep], w[keep]
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    key = lo * graph.num_data + hi
+    unique_key, inverse = np.unique(key, return_inverse=True)
+    weight = np.zeros(unique_key.size, dtype=np.float64)
+    np.add.at(weight, inverse, w)
+    return unique_key // graph.num_data, unique_key % graph.num_data, weight
+
+
+def coarsen_once(
+    graph: BipartiteGraph,
+    weights: np.ndarray,
+    rng: np.random.Generator,
+    max_degree: int = 64,
+    max_weight_ratio: float = 4.0,
+) -> CoarseLevel | None:
+    """One round of heavy-edge matching + contraction.
+
+    Returns ``None`` when contraction no longer reduces the vertex count
+    meaningfully (< 10%), which signals the V-cycle to stop coarsening —
+    the hypergraph analogue of the paper's observation that coarsest
+    hypergraphs stop shrinking (a key scalability limitation of the
+    multi-level tools, Section 2).
+    """
+    num_data = graph.num_data
+    u, v, w = _ring_pairs(graph, rng, max_degree)
+    if u.size == 0:
+        return None
+    mean_weight = float(weights.mean()) if weights.size else 1.0
+    order = np.argsort(-w, kind="stable")
+    matched = np.full(num_data, -1, dtype=np.int64)
+    for idx in order.tolist():
+        a, b = int(u[idx]), int(v[idx])
+        if matched[a] != -1 or matched[b] != -1:
+            continue
+        if weights[a] + weights[b] > max_weight_ratio * mean_weight:
+            continue
+        matched[a] = b
+        matched[b] = a
+
+    parent_map = np.full(num_data, -1, dtype=np.int64)
+    next_id = 0
+    for vertex in range(num_data):
+        if parent_map[vertex] != -1:
+            continue
+        partner = matched[vertex]
+        parent_map[vertex] = next_id
+        if partner != -1 and parent_map[partner] == -1:
+            parent_map[partner] = next_id
+        next_id += 1
+    if next_id > 0.9 * num_data:
+        return None
+
+    coarse_weights = np.zeros(next_id, dtype=np.float64)
+    np.add.at(coarse_weights, parent_map, weights)
+    coarse_graph = BipartiteGraph.from_edges(
+        graph.q_of_edge,
+        parent_map[graph.q_indices],
+        num_queries=graph.num_queries,
+        num_data=next_id,
+        name=graph.name,
+        dedupe=True,
+    ).remove_small_queries()
+    return CoarseLevel(graph=coarse_graph, weights=coarse_weights, parent_map=parent_map)
+
+
+def coarsen(
+    graph: BipartiteGraph,
+    weights: np.ndarray,
+    target_vertices: int,
+    rng: np.random.Generator,
+    max_levels: int = 24,
+    max_degree: int = 64,
+) -> list[CoarseLevel]:
+    """Full coarsening chain down to roughly ``target_vertices``."""
+    levels: list[CoarseLevel] = []
+    current = graph
+    current_weights = weights
+    for _ in range(max_levels):
+        if current.num_data <= target_vertices:
+            break
+        level = coarsen_once(current, current_weights, rng, max_degree=max_degree)
+        if level is None:
+            break
+        levels.append(level)
+        current = level.graph
+        current_weights = level.weights
+    return levels

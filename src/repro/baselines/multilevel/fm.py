@@ -1,0 +1,171 @@
+"""Fiduccia–Mattheyses 2-way refinement for hypergraphs [18].
+
+The local-refinement engine inside every multi-level partitioner the paper
+compares against.  For a bisection, minimizing fanout is identical to
+minimizing the hyperedge cut (fanout(q) ∈ {1, 2}), so the classic FM gain
+applies:
+
+* moving v off a side where it is the query's last pin *uncuts* the query
+  (+1), and
+* moving v away from a side when the query has no pin on the other side
+  *cuts* it (−1).
+
+Implementation: lazy max-heap of gains, weighted balance with hard caps,
+pass-based with rollback to the best prefix — the textbook linear-time
+scheme with critical-net gain updates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...hypergraph.bipartite import BipartiteGraph
+
+__all__ = ["FMStats", "initial_gains", "fm_pass", "fm_refine"]
+
+
+@dataclass
+class FMStats:
+    """Outcome of one or more FM passes."""
+
+    passes: int = 0
+    moves_applied: int = 0
+    cut_before: int = 0
+    cut_after: int = 0
+
+
+def _side_counts(graph: BipartiteGraph, side: np.ndarray) -> np.ndarray:
+    """|Q| × 2 pin counts per side."""
+    key = graph.q_of_edge * 2 + side[graph.q_indices]
+    return (
+        np.bincount(key, minlength=graph.num_queries * 2)
+        .reshape(graph.num_queries, 2)
+        .astype(np.int64)
+    )
+
+
+def cut_size(counts: np.ndarray) -> int:
+    """Number of queries spanning both sides."""
+    return int(((counts[:, 0] > 0) & (counts[:, 1] > 0)).sum())
+
+
+def initial_gains(graph: BipartiteGraph, side: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Vectorized FM gains for every data vertex."""
+    own = counts[graph.d_indices, side[graph.d_of_edge]]
+    other = counts[graph.d_indices, 1 - side[graph.d_of_edge]]
+    per_edge = (own == 1).astype(np.int64) - (other == 0).astype(np.int64)
+    gains = np.zeros(graph.num_data, dtype=np.int64)
+    np.add.at(gains, graph.d_of_edge, per_edge)
+    return gains
+
+
+def fm_pass(
+    graph: BipartiteGraph,
+    side: np.ndarray,
+    weights: np.ndarray,
+    caps: np.ndarray,
+    rng: np.random.Generator,
+    max_moves: int | None = None,
+) -> tuple[int, int]:
+    """One FM pass; mutates ``side``.  Returns (gain_realized, moves_kept)."""
+    num_data = graph.num_data
+    counts = _side_counts(graph, side)
+    gains = initial_gains(graph, side, counts)
+    sizes = np.array(
+        [weights[side == 0].sum(), weights[side == 1].sum()], dtype=np.float64
+    )
+    locked = np.zeros(num_data, dtype=bool)
+
+    heap: list[tuple[float, float, int]] = [
+        (-float(gains[v]), float(rng.random()), v) for v in range(num_data)
+    ]
+    heapq.heapify(heap)
+
+    def push(v: int) -> None:
+        heapq.heappush(heap, (-float(gains[v]), float(rng.random()), v))
+
+    move_log: list[int] = []
+    cumulative = 0
+    best_cumulative = 0
+    best_prefix = 0
+    budget = max_moves if max_moves is not None else num_data
+
+    while heap and len(move_log) < budget:
+        neg_gain, _, v = heapq.heappop(heap)
+        if locked[v] or -neg_gain != gains[v]:
+            continue  # stale heap entry
+        src = int(side[v])
+        dst = 1 - src
+        if sizes[dst] + weights[v] > caps[dst]:
+            locked[v] = True  # cannot move this pass; lock to make progress
+            continue
+
+        # --- FM critical-net gain updates (before counts change) ---
+        for q in graph.data_neighbors(v).tolist():
+            n_dst = counts[q, dst]
+            if n_dst == 0:
+                for u in graph.query_neighbors(q).tolist():
+                    if not locked[u] and u != v:
+                        gains[u] += 1
+                        push(u)
+            elif n_dst == 1:
+                for u in graph.query_neighbors(q).tolist():
+                    if not locked[u] and side[u] == dst:
+                        gains[u] -= 1
+                        push(u)
+                        break
+
+        side[v] = dst
+        sizes[src] -= weights[v]
+        sizes[dst] += weights[v]
+        cumulative += int(gains[v])
+        locked[v] = True
+        move_log.append(v)
+
+        for q in graph.data_neighbors(v).tolist():
+            counts[q, src] -= 1
+            counts[q, dst] += 1
+            n_src = counts[q, src]
+            if n_src == 0:
+                for u in graph.query_neighbors(q).tolist():
+                    if not locked[u]:
+                        gains[u] -= 1
+                        push(u)
+            elif n_src == 1:
+                for u in graph.query_neighbors(q).tolist():
+                    if not locked[u] and side[u] == src:
+                        gains[u] += 1
+                        push(u)
+                        break
+
+        if cumulative > best_cumulative:
+            best_cumulative = cumulative
+            best_prefix = len(move_log)
+
+    # Roll back every move after the best prefix.
+    for v in move_log[best_prefix:]:
+        side[v] = 1 - side[v]
+    return best_cumulative, best_prefix
+
+
+def fm_refine(
+    graph: BipartiteGraph,
+    side: np.ndarray,
+    weights: np.ndarray,
+    caps: np.ndarray,
+    rng: np.random.Generator,
+    max_passes: int = 4,
+) -> FMStats:
+    """Run FM passes until a pass yields no improvement."""
+    stats = FMStats(cut_before=cut_size(_side_counts(graph, side)))
+    for _ in range(max_passes):
+        gain, moves = fm_pass(graph, side, weights, caps, rng)
+        stats.passes += 1
+        stats.moves_applied += moves
+        if gain <= 0:
+            break
+    stats.cut_after = cut_size(_side_counts(graph, side))
+    return stats

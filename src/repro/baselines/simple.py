@@ -1,0 +1,48 @@
+"""Trivial baselines: random and hash partitioning.
+
+Random assignment is the paper's reference point for "no optimization" —
+e.g. Figure 4b's fanout-40 regime is random sharding across 40 servers.
+Hash partitioning (bucket = id mod k) is what production systems use before
+any locality optimization; on permuted-id graphs it behaves like random.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.partition import balanced_random_assignment
+from ..core.result import PartitionResult
+from ..hypergraph.bipartite import BipartiteGraph
+
+__all__ = ["random_partitioner", "hash_partitioner"]
+
+
+def random_partitioner(
+    graph: BipartiteGraph, k: int, seed: int = 0, **_: object
+) -> PartitionResult:
+    """Uniform random balanced assignment."""
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    assignment = balanced_random_assignment(graph.num_data, k, rng)
+    return PartitionResult(
+        assignment=assignment,
+        k=k,
+        method="random",
+        converged=True,
+        elapsed_sec=time.perf_counter() - start,
+    )
+
+
+def hash_partitioner(graph: BipartiteGraph, k: int, **_: object) -> PartitionResult:
+    """Modulo hashing of vertex ids (deterministic, perfectly balanced ±1)."""
+    start = time.perf_counter()
+    assignment = (np.arange(graph.num_data, dtype=np.int64) % k).astype(np.int32)
+    return PartitionResult(
+        assignment=assignment,
+        k=k,
+        method="hash",
+        converged=True,
+        elapsed_sec=time.perf_counter() - start,
+    )

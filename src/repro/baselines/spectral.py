@@ -1,0 +1,91 @@
+"""Spectral bisection baseline.
+
+Computes the Fiedler vector of the *star expansion* of the hypergraph —
+the bipartite graph itself, where every query is an auxiliary vertex — and
+splits the data vertices at the weighted median.  Recursion yields k-way
+partitions.  Spectral methods are the classical non-local-search contrast
+point (the approximation algorithms the paper cites are LP/SDP-based and
+slower still); this baseline is only practical for small graphs, which is
+itself a datapoint the benchmarks report.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import eigsh
+
+from ..core.partition import balanced_random_assignment
+from ..core.result import PartitionResult
+from ..hypergraph.bipartite import BipartiteGraph
+
+__all__ = ["spectral_partitioner"]
+
+
+def _fiedler_split(
+    graph: BipartiteGraph, data_ids: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Bisect a data subset by the Fiedler vector of the star expansion."""
+    subgraph, _ = graph.induced_subgraph(data_ids)
+    nd, nq = subgraph.num_data, subgraph.num_queries
+    if nd <= 2 or nq == 0:
+        return balanced_random_assignment(nd, 2, rng)
+    rows = subgraph.d_of_edge
+    cols = subgraph.d_indices + nd  # queries appended after data vertices
+    n = nd + nq
+    data = np.ones(rows.size, dtype=np.float64)
+    adjacency = sparse.coo_matrix(
+        (np.concatenate([data, data]),
+         (np.concatenate([rows, cols]), np.concatenate([cols, rows]))),
+        shape=(n, n),
+    ).tocsr()
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    laplacian = sparse.diags(degrees) - adjacency
+    try:
+        # Shift by a small multiple of identity for numerical robustness.
+        _, vectors = eigsh(
+            laplacian + 1e-9 * sparse.identity(n),
+            k=2,
+            which="SM",
+            maxiter=max(200, 20 * int(np.sqrt(n))),
+            tol=1e-4,
+        )
+        fiedler = vectors[:, 1][:nd]
+    except Exception:  # convergence failure: fall back to random
+        return balanced_random_assignment(nd, 2, rng)
+    median = np.median(fiedler)
+    side = (fiedler > median).astype(np.int32)
+    # Median ties can unbalance the split; fix up deterministically.
+    imbalance = int(side.sum()) - nd // 2
+    if imbalance > 0:
+        ties = np.flatnonzero((fiedler == median) & (side == 1))[:imbalance]
+        side[ties] = 0
+    return side
+
+
+def spectral_partitioner(
+    graph: BipartiteGraph, k: int, seed: int = 0, **_: object
+) -> PartitionResult:
+    """Recursive spectral bisection into k buckets."""
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    assignment = np.zeros(graph.num_data, dtype=np.int32)
+    stack = [(np.arange(graph.num_data, dtype=np.int64), 0, k)]
+    while stack:
+        data_ids, offset, span = stack.pop()
+        if span == 1 or data_ids.size == 0:
+            assignment[data_ids] = offset
+            continue
+        left_span = (span + 1) // 2
+        side = _fiedler_split(graph, data_ids, rng)
+        stack.append((data_ids[side == 0], offset, left_span))
+        stack.append((data_ids[side == 1], offset + left_span, span - left_span))
+    return PartitionResult(
+        assignment=assignment,
+        k=k,
+        method="spectral",
+        converged=True,
+        elapsed_sec=time.perf_counter() - start,
+    )

@@ -1,0 +1,6 @@
+"""Experiment harness: table/series rendering and result recording."""
+
+from .recorder import record, results_dir
+from .tables import ascii_bars, format_series, format_table
+
+__all__ = ["format_table", "format_series", "ascii_bars", "record", "results_dir"]

@@ -1,0 +1,43 @@
+"""Benchmark result recording.
+
+Every benchmark writes its rendered tables to stdout *and* persists them
+under ``benchmarks/results/`` (text for humans, JSON for tooling), so the
+EXPERIMENTS.md paper-vs-measured comparison can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["results_dir", "record"]
+
+
+def results_dir() -> Path:
+    """Directory for benchmark artifacts (created on demand).
+
+    Defaults to ``benchmarks/results`` relative to the repository root;
+    override with the ``REPRO_RESULTS_DIR`` environment variable.
+    """
+    override = os.environ.get("REPRO_RESULTS_DIR")
+    if override:
+        path = Path(override)
+    else:
+        path = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def record(name: str, text: str, data: object | None = None, echo: bool = True) -> Path:
+    """Persist one experiment's rendered text (and optional JSON payload)."""
+    directory = results_dir()
+    text_path = directory / f"{name}.txt"
+    text_path.write_text(text, encoding="utf-8")
+    if data is not None:
+        json_path = directory / f"{name}.json"
+        json_path.write_text(json.dumps(data, indent=2, default=str), encoding="utf-8")
+    if echo:
+        print(f"\n{text}")
+        print(f"[recorded: {text_path}]")
+    return text_path

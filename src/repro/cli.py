@@ -1,0 +1,206 @@
+"""Command-line interface: partition, evaluate, and generate hypergraphs.
+
+Usage (also via ``python -m repro``):
+
+    repro partition INPUT.hgr -k 16 --algorithm shp-2 -o assignment.txt
+    repro evaluate INPUT.hgr assignment.txt -k 16
+    repro compare INPUT.hgr -k 16
+    repro generate soc-Pokec --scale 0.01 -o pokec.hgr
+    repro datasets
+
+Input formats are detected from the extension: ``.hgr`` (hMetis), ``.tsv``
+(query/data edge list), ``.npz`` (this package's archive format).
+Assignments are plain text, one bucket id per data vertex per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .baselines import get_partitioner, partitioner_names
+from .bench import format_table
+from .hypergraph import (
+    DATASETS,
+    BipartiteGraph,
+    dataset_names,
+    graph_stats,
+    load_dataset,
+    load_npz,
+    read_edge_list,
+    read_hmetis,
+    save_npz,
+    write_edge_list,
+    write_hmetis,
+)
+from .objectives import evaluate_partition
+
+__all__ = ["main"]
+
+
+def _load_graph(path: str) -> BipartiteGraph:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".hgr":
+        return read_hmetis(path, name=Path(path).stem)
+    if suffix in (".tsv", ".txt", ".edges"):
+        return read_edge_list(path, name=Path(path).stem)
+    if suffix == ".npz":
+        return load_npz(path)
+    raise SystemExit(f"unrecognized graph format {suffix!r} (use .hgr, .tsv, or .npz)")
+
+
+def _save_graph(graph: BipartiteGraph, path: str) -> None:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".hgr":
+        write_hmetis(graph, path)
+    elif suffix in (".tsv", ".txt", ".edges"):
+        write_edge_list(graph, path)
+    elif suffix == ".npz":
+        save_npz(graph, path)
+    else:
+        raise SystemExit(f"unrecognized output format {suffix!r}")
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.input).remove_small_queries()
+    partitioner = get_partitioner(args.algorithm)
+    kwargs: dict = {"k": args.k, "epsilon": args.epsilon, "seed": args.seed}
+    if args.algorithm in ("shp-2", "shp-k"):
+        kwargs["p"] = args.p
+        if args.objective != "pfanout":
+            kwargs["objective"] = args.objective
+    start = time.perf_counter()
+    result = partitioner(graph, **kwargs)
+    elapsed = time.perf_counter() - start
+    quality = evaluate_partition(graph, result.assignment, args.k)
+    if args.output:
+        Path(args.output).write_text(
+            "\n".join(str(int(b)) for b in result.assignment) + "\n"
+        )
+        print(f"assignment written to {args.output}")
+    print(format_table([{"algorithm": args.algorithm, "sec": round(elapsed, 2),
+                         **quality.row()}], title=f"{graph.name or args.input}"))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.input)
+    assignment = np.loadtxt(args.assignment, dtype=np.int64)
+    if assignment.ndim == 0:
+        assignment = assignment.reshape(1)
+    if assignment.size != graph.num_data:
+        raise SystemExit(
+            f"assignment has {assignment.size} entries, graph has {graph.num_data} data vertices"
+        )
+    k = args.k if args.k else int(assignment.max()) + 1
+    quality = evaluate_partition(graph, assignment.astype(np.int32), k)
+    print(format_table([quality.row()], title=f"{graph.name or args.input}"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    _save_graph(graph, args.output)
+    stats = graph_stats(graph)
+    print(format_table([stats.row()], title=f"generated {args.dataset} -> {args.output}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.input).remove_small_queries()
+    names = args.algorithms or ["random", "label-prop", "shp-2", "shp-k", "mondriaan-like"]
+    rows = []
+    for name in names:
+        start = time.perf_counter()
+        result = get_partitioner(name)(
+            graph, k=args.k, epsilon=args.epsilon, seed=args.seed
+        )
+        elapsed = time.perf_counter() - start
+        quality = evaluate_partition(graph, result.assignment, args.k)
+        rows.append({"algorithm": name, "sec": round(elapsed, 2), **quality.row()})
+    rows.sort(key=lambda row: row["fanout"])
+    print(format_table(rows, title=f"{graph.name or args.input} (k={args.k})"))
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "family": spec.family,
+            "paper |Q|": spec.paper_q,
+            "paper |D|": spec.paper_d,
+            "paper |E|": spec.paper_e,
+        }
+        for spec in DATASETS.values()
+    ]
+    print(format_table(rows, title="Table 1 dataset registry (synthetic stand-ins)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Social Hash Partitioner (SHP) reproduction — hypergraph partitioning CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition a hypergraph")
+    p.add_argument("input", help="graph file (.hgr / .tsv / .npz)")
+    p.add_argument("-k", type=int, required=True, help="number of buckets")
+    p.add_argument(
+        "--algorithm", default="shp-2", choices=partitioner_names(),
+        help="partitioner (default: shp-2)",
+    )
+    p.add_argument("--epsilon", type=float, default=0.05, help="imbalance bound")
+    p.add_argument("-p", type=float, default=0.5, help="fanout probability")
+    p.add_argument(
+        "--objective", default="pfanout", choices=["pfanout", "fanout", "cliquenet"],
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", help="write assignment (one bucket per line)")
+    p.set_defaults(func=_cmd_partition)
+
+    e = sub.add_parser("evaluate", help="evaluate an existing assignment")
+    e.add_argument("input", help="graph file")
+    e.add_argument("assignment", help="assignment file (one bucket id per line)")
+    e.add_argument("-k", type=int, default=0, help="bucket count (default: max+1)")
+    e.set_defaults(func=_cmd_evaluate)
+
+    c = sub.add_parser("compare", help="run several partitioners and rank by fanout")
+    c.add_argument("input", help="graph file")
+    c.add_argument("-k", type=int, required=True)
+    c.add_argument("--epsilon", type=float, default=0.05)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument(
+        "--algorithms", nargs="*", choices=partitioner_names(),
+        help="subset to compare (default: a representative five)",
+    )
+    c.set_defaults(func=_cmd_compare)
+
+    g = sub.add_parser("generate", help="generate a Table 1 dataset stand-in")
+    g.add_argument("dataset", choices=dataset_names())
+    g.add_argument("--scale", type=float, default=0.01)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("-o", "--output", required=True, help="output file (.hgr / .tsv / .npz)")
+    g.set_defaults(func=_cmd_generate)
+
+    d = sub.add_parser("datasets", help="list the dataset registry")
+    d.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""SHP core: the paper's contribution (Algorithm 1 + Section 3.4 + Section 5)."""
+
+from .config import SHPConfig
+from .gains import best_moves, data_query_matrix, move_gains_dense
+from .histograms import GainBinning
+from .incremental import IncrementalOutcome, churn, incremental_update
+from .multidim import MultiDimResult, merge_buckets_balanced, partition_multidim
+from .persistence import load_result, save_result
+from .partition import (
+    balanced_random_assignment,
+    bucket_sizes,
+    capacities,
+    random_assignment,
+    validate_assignment,
+)
+from .refinement import RefineOutcome, build_matcher, build_objective, refine
+from .result import IterationStats, PartitionResult
+from .shp_2 import SHP2Partitioner, shp_2
+from .shp_k import SHPKPartitioner, shp_k
+from .swaps import HistogramMatcher, SwapDecision, UniformMatcher
+
+__all__ = [
+    "SHPConfig",
+    "SHPKPartitioner",
+    "SHP2Partitioner",
+    "shp_k",
+    "shp_2",
+    "PartitionResult",
+    "IterationStats",
+    "GainBinning",
+    "HistogramMatcher",
+    "UniformMatcher",
+    "SwapDecision",
+    "RefineOutcome",
+    "refine",
+    "build_objective",
+    "build_matcher",
+    "best_moves",
+    "move_gains_dense",
+    "data_query_matrix",
+    "random_assignment",
+    "balanced_random_assignment",
+    "bucket_sizes",
+    "capacities",
+    "validate_assignment",
+    "save_result",
+    "load_result",
+    "incremental_update",
+    "IncrementalOutcome",
+    "churn",
+    "partition_multidim",
+    "merge_buckets_balanced",
+    "MultiDimResult",
+]

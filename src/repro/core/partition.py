@@ -1,0 +1,104 @@
+"""Partition state helpers: initialization, sizes, capacities.
+
+Algorithm 1 starts from an independent uniform random bucket per vertex,
+"which for large graphs guarantees an initial perfect balance" (Section 3.1).
+Capacities encode the balance constraint ``|V_i| ≤ (1 + ε) n / k``; recursive
+bisection uses proportional targets so arbitrary (non-power-of-two) k works.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "random_assignment",
+    "balanced_random_assignment",
+    "bucket_sizes",
+    "capacities",
+    "validate_assignment",
+]
+
+
+def random_assignment(
+    num_data: int,
+    k: int,
+    rng: np.random.Generator,
+    proportions: np.ndarray | None = None,
+) -> np.ndarray:
+    """Independent random bucket per vertex (optionally non-uniform).
+
+    ``proportions`` gives per-bucket target fractions (used by proportional
+    bisection when splitting a span of buckets into uneven halves).
+    """
+    if proportions is None:
+        return rng.integers(0, k, size=num_data, dtype=np.int64).astype(np.int32)
+    p = np.asarray(proportions, dtype=np.float64)
+    p = p / p.sum()
+    return rng.choice(k, size=num_data, p=p).astype(np.int32)
+
+
+def balanced_random_assignment(
+    num_data: int,
+    k: int,
+    rng: np.random.Generator,
+    proportions: np.ndarray | None = None,
+) -> np.ndarray:
+    """Random assignment with *exactly* proportional bucket sizes.
+
+    The paper's independent random initialization is perfectly balanced only
+    in the large-graph limit; on small subproblems (deep recursion levels,
+    large k) binomial drift would otherwise compound across bisection levels
+    and break the ε constraint.  This variant assigns exact quotas (largest
+    remainders) and shuffles, which is the same distribution conditioned on
+    perfect balance.
+    """
+    if proportions is None:
+        target = np.full(k, num_data / k)
+    else:
+        p = np.asarray(proportions, dtype=np.float64)
+        target = num_data * p / p.sum()
+    quota = np.floor(target).astype(np.int64)
+    shortfall = num_data - int(quota.sum())
+    if shortfall > 0:
+        remainder_order = np.argsort(-(target - quota), kind="stable")
+        quota[remainder_order[:shortfall]] += 1
+    labels = np.repeat(np.arange(k, dtype=np.int32), quota)
+    rng.shuffle(labels)
+    return labels
+
+
+def bucket_sizes(assignment: np.ndarray, k: int, weights: np.ndarray | None = None) -> np.ndarray:
+    """Per-bucket vertex counts (or total weights)."""
+    if weights is None:
+        return np.bincount(assignment, minlength=k).astype(np.int64)
+    return np.bincount(assignment, weights=np.asarray(weights, dtype=np.float64), minlength=k)
+
+
+def capacities(
+    num_data: int,
+    k: int,
+    epsilon: float,
+    proportions: np.ndarray | None = None,
+) -> np.ndarray:
+    """Maximum bucket sizes under the ε-balance constraint.
+
+    Uniform targets give ``floor((1 + ε) n / k)`` but never less than
+    ``ceil(n / k)`` (a feasible perfectly balanced solution must always be
+    admissible even for tiny n where the floor would under-round).
+    """
+    if proportions is None:
+        target = np.full(k, num_data / k)
+    else:
+        p = np.asarray(proportions, dtype=np.float64)
+        target = num_data * p / p.sum()
+    caps = np.floor((1.0 + epsilon) * target).astype(np.int64)
+    return np.maximum(caps, np.ceil(target).astype(np.int64))
+
+
+def validate_assignment(assignment: np.ndarray, num_data: int, k: int) -> None:
+    """Raise if the assignment is not a valid bucket labeling."""
+    assignment = np.asarray(assignment)
+    if assignment.shape != (num_data,):
+        raise ValueError(f"assignment shape {assignment.shape} != ({num_data},)")
+    if assignment.size and (assignment.min() < 0 or assignment.max() >= k):
+        raise ValueError("assignment labels out of range [0, k)")

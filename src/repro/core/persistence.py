@@ -1,0 +1,85 @@
+"""Persisting partition results with provenance.
+
+Production sharding pipelines store the shard map together with how it was
+produced (method, seed, iteration history) so that incremental updates
+(Section 5) can warm-start from it later.  Results are stored as a compact
+``.npz`` (assignment) plus a JSON sidecar (provenance).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from .result import IterationStats, PartitionResult
+
+__all__ = ["save_result", "load_result"]
+
+
+def save_result(result: PartitionResult, path: str | Path) -> Path:
+    """Save a partition result; returns the path of the ``.npz`` artifact.
+
+    ``path`` may omit the extension; a ``<path>.meta.json`` sidecar records
+    provenance (method, convergence, iteration history, extras).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    np.savez_compressed(path, assignment=result.assignment, k=np.int64(result.k))
+    meta = {
+        "k": result.k,
+        "method": result.method,
+        "converged": result.converged,
+        "elapsed_sec": result.elapsed_sec,
+        "num_data": int(result.assignment.size),
+        "history": [asdict(s) for s in result.history],
+        "extra": {key: _jsonable(value) for key, value in result.extra.items()},
+    }
+    sidecar = path.with_suffix(".meta.json")
+    sidecar.write_text(json.dumps(meta, indent=2), encoding="utf-8")
+    return path
+
+
+def load_result(path: str | Path) -> PartitionResult:
+    """Load a result saved by :func:`save_result` (sidecar optional)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        assignment = archive["assignment"].astype(np.int32)
+        k = int(archive["k"])
+    sidecar = path.with_suffix(".meta.json")
+    method = "unknown"
+    converged = False
+    elapsed = 0.0
+    history: list[IterationStats] = []
+    extra: dict[str, object] = {}
+    if sidecar.exists():
+        meta = json.loads(sidecar.read_text(encoding="utf-8"))
+        method = meta.get("method", method)
+        converged = bool(meta.get("converged", False))
+        elapsed = float(meta.get("elapsed_sec", 0.0))
+        history = [IterationStats(**entry) for entry in meta.get("history", [])]
+        extra = dict(meta.get("extra", {}))
+    return PartitionResult(
+        assignment=assignment,
+        k=k,
+        method=method,
+        converged=converged,
+        elapsed_sec=elapsed,
+        history=history,
+        extra=extra,
+    )
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value

@@ -1,0 +1,135 @@
+"""The local-refinement loop shared by SHP-k and SHP-2 (Algorithm 1).
+
+One iteration:
+
+1. compute the query neighbor data ``n_i(q)`` (counts matrix),
+2. compute every data vertex's best target bucket and move gain,
+3. let the matcher (the "master") decide who moves while preserving balance,
+4. apply the moves.
+
+The loop stops when the moved fraction drops below the convergence
+threshold or the iteration budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hypergraph.bipartite import BipartiteGraph
+from ..objectives import (
+    CliqueNetObjective,
+    FanoutObjective,
+    PFanoutObjective,
+    ScaledPFanout,
+    SeparableObjective,
+    bucket_counts,
+    objective_value,
+)
+from .config import SHPConfig
+from .gains import best_moves
+from .histograms import GainBinning
+from .partition import bucket_sizes
+from .result import IterationStats
+from .swaps import HistogramMatcher, UniformMatcher
+
+__all__ = ["RefineOutcome", "build_objective", "build_matcher", "refine"]
+
+
+@dataclass
+class RefineOutcome:
+    """Result of one refinement loop over a (sub)graph."""
+
+    assignment: np.ndarray
+    history: list[IterationStats] = field(default_factory=list)
+    converged: bool = False
+
+
+def build_objective(
+    config: SHPConfig, splits_ahead: np.ndarray | int | None = None
+) -> SeparableObjective:
+    """Instantiate the configured objective.
+
+    ``splits_ahead`` activates the final-p-fanout approximation during
+    recursive bisection (ignored for the clique-net objective, which is
+    scale-invariant in the p → 0 limit).
+    """
+    if config.objective == "cliquenet":
+        return CliqueNetObjective()
+    p = 1.0 if config.objective == "fanout" else config.p
+    if splits_ahead is None or np.all(np.asarray(splits_ahead) == 1):
+        return FanoutObjective() if p == 1.0 else PFanoutObjective(p)
+    return ScaledPFanout(p=p, splits_ahead=splits_ahead)
+
+
+def build_matcher(config: SHPConfig):
+    """Instantiate the configured swap matcher."""
+    if config.matcher == "uniform":
+        return UniformMatcher(swap_mode=config.swap_mode, damping=config.move_damping)
+    binning = GainBinning(num_bins=config.num_bins, min_gain=config.min_gain)
+    return HistogramMatcher(
+        binning,
+        allow_negative=config.allow_negative_gains,
+        swap_mode=config.swap_mode,
+        damping=config.move_damping,
+    )
+
+
+def refine(
+    graph: BipartiteGraph,
+    assignment: np.ndarray,
+    k: int,
+    objective: SeparableObjective,
+    config: SHPConfig,
+    caps: np.ndarray,
+    rng: np.random.Generator,
+    max_iterations: int,
+) -> RefineOutcome:
+    """Run Algorithm 1's refinement loop in place on ``assignment``.
+
+    ``caps`` are per-bucket maximum sizes (the ε-balance constraint, possibly
+    schedule-tightened by the recursive driver).
+    """
+    assignment = np.asarray(assignment, dtype=np.int32).copy()
+    num_data = graph.num_data
+    matcher = build_matcher(config)
+    history: list[IterationStats] = []
+    converged = False
+    track = config.track_metrics
+
+    if num_data == 0 or graph.num_queries == 0 or k < 2:
+        return RefineOutcome(assignment=assignment, history=history, converged=True)
+
+    counts = bucket_counts(graph, assignment, k)
+    for iteration in range(1, max_iterations + 1):
+        gain, target = best_moves(graph, assignment, counts, objective)
+        if config.move_penalty > 0.0:
+            gain = gain - config.move_penalty
+        sizes = bucket_sizes(assignment, k)
+        decision = matcher.decide(assignment, target, gain, k, sizes, caps, rng)
+        moved_idx = np.flatnonzero(decision.move)
+        assignment[moved_idx] = target[moved_idx]
+        moved = int(moved_idx.size)
+        fraction = moved / num_data
+
+        counts = bucket_counts(graph, assignment, k)
+        value = None
+        fanout_value = None
+        if track in ("objective", "full"):
+            value = objective_value(objective, counts, graph.query_weights)
+        if track == "full":
+            fanout_value = float((counts > 0).sum() / graph.num_queries)
+        history.append(
+            IterationStats(
+                iteration=iteration,
+                moved=moved,
+                moved_fraction=fraction,
+                objective_value=value,
+                fanout=fanout_value,
+            )
+        )
+        if fraction < config.convergence_fraction:
+            converged = True
+            break
+    return RefineOutcome(assignment=assignment, history=history, converged=converged)

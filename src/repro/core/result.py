@@ -1,0 +1,59 @@
+"""Result types returned by the partitioners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IterationStats", "PartitionResult"]
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Per-refinement-iteration progress record (drives Figure 7)."""
+
+    iteration: int
+    moved: int
+    moved_fraction: float
+    objective_value: float | None = None
+    fanout: float | None = None
+
+    def row(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "iter": self.iteration,
+            "moved": self.moved,
+            "moved %": round(100.0 * self.moved_fraction, 3),
+        }
+        if self.objective_value is not None:
+            out["objective"] = round(self.objective_value, 5)
+        if self.fanout is not None:
+            out["fanout"] = round(self.fanout, 4)
+        return out
+
+
+@dataclass
+class PartitionResult:
+    """A partition plus provenance: method, config, and iteration history."""
+
+    assignment: np.ndarray
+    k: int
+    method: str
+    converged: bool = False
+    elapsed_sec: float = 0.0
+    history: list[IterationStats] = field(default_factory=list)
+    levels: list[list[IterationStats]] = field(default_factory=list)
+    extra: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.history)
+
+    def bucket_sizes(self) -> np.ndarray:
+        return np.bincount(self.assignment, minlength=self.k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionResult(method={self.method!r}, k={self.k}, "
+            f"iterations={self.num_iterations}, converged={self.converged})"
+        )

@@ -1,0 +1,195 @@
+"""SHP-2: recursive bisection (Section 3.3, "Recursive partitioning").
+
+The k-way problem is solved by repeatedly bisecting bucket groups: the
+vertices of group ``V_i`` may only move between its two children, so each
+level costs ``O(|E|)`` regardless of k and the whole run costs
+``O(|E| log k)`` — the variant the paper open-sourced as the most scalable.
+
+Section 3.4 refinements implemented here:
+
+* **ε schedule** — early levels get a tightened imbalance budget
+  (ε scaled by completed-splits / total-splits) so that later levels retain
+  freedom to move vertices.
+* **Final p-fanout approximation** — each bisection optimizes
+  ``t · (1 − (1 − p/t)^n)`` with ``t`` the number of final buckets below
+  each child, rather than the current-level p-fanout.
+* Arbitrary (non-power-of-two) k via proportional bisection: a span of
+  ``s`` buckets splits into ``ceil(s/2)`` and ``floor(s/2)`` children with
+  proportionally sized targets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hypergraph.bipartite import BipartiteGraph
+from .config import SHPConfig
+from .partition import balanced_random_assignment, validate_assignment
+from .refinement import build_objective, refine
+from .result import IterationStats, PartitionResult
+
+__all__ = ["SHP2Partitioner", "shp_2"]
+
+
+@dataclass
+class _Group:
+    """A contiguous range of final buckets still to be split."""
+
+    data_ids: np.ndarray  # original data-vertex ids in this group
+    offset: int  # first final bucket id owned by the group
+    span: int  # number of final buckets owned by the group
+
+
+class SHP2Partitioner:
+    """Recursive-bisection Social Hash Partitioner."""
+
+    def __init__(self, config: SHPConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def partition(
+        self, graph: BipartiteGraph, initial: np.ndarray | None = None
+    ) -> PartitionResult:
+        """Partition into ``config.k`` buckets by recursive bisection.
+
+        ``initial`` warm-starts every bisection by routing each vertex
+        toward the child whose final bucket range contains its previous
+        bucket (incremental repartitioning, Section 5).
+        """
+        config = self.config
+        start = time.perf_counter()
+        rng = np.random.default_rng(config.seed)
+        k = config.k
+        if initial is not None:
+            validate_assignment(initial, graph.num_data, k)
+            initial = np.asarray(initial, dtype=np.int32)
+
+        assignment = np.zeros(graph.num_data, dtype=np.int32)
+        groups = [_Group(np.arange(graph.num_data, dtype=np.int64), 0, k)]
+        levels: list[list[IterationStats]] = []
+        all_converged = True
+        splits_done = 1
+
+        while any(g.span > 1 for g in groups):
+            level_stats: list[IterationStats] = []
+            next_groups: list[_Group] = []
+            # ε schedule: current splits after this level / final splits.
+            splits_after = sum(min(2, g.span) if g.span > 1 else 1 for g in groups)
+            if config.epsilon_schedule:
+                eps_eff = config.epsilon * min(1.0, splits_after / k)
+            else:
+                eps_eff = config.epsilon
+            for group in groups:
+                if group.span == 1:
+                    assignment[group.data_ids] = group.offset
+                    continue
+                left_span = (group.span + 1) // 2
+                right_span = group.span - left_span
+                side, stats, converged = self._bisect(
+                    graph, group, left_span, right_span, eps_eff, rng, initial,
+                    total_data=graph.num_data,
+                )
+                level_stats.extend(stats)
+                all_converged = all_converged and converged
+                left_ids = group.data_ids[side == 0]
+                right_ids = group.data_ids[side == 1]
+                next_groups.append(_Group(left_ids, group.offset, left_span))
+                next_groups.append(
+                    _Group(right_ids, group.offset + left_span, right_span)
+                )
+            groups = [g for g in next_groups if g.span >= 1]
+            splits_done = splits_after
+            levels.append(level_stats)
+
+        for group in groups:
+            assignment[group.data_ids] = group.offset
+
+        history = [s for level in levels for s in level]
+        return PartitionResult(
+            assignment=assignment,
+            k=k,
+            method="SHP-2",
+            converged=all_converged,
+            elapsed_sec=time.perf_counter() - start,
+            history=history,
+            levels=levels,
+            extra={"num_levels": len(levels), "splits_done": splits_done},
+        )
+
+    # ------------------------------------------------------------------
+    def _bisect(
+        self,
+        graph: BipartiteGraph,
+        group: _Group,
+        left_span: int,
+        right_span: int,
+        eps_eff: float,
+        rng: np.random.Generator,
+        initial: np.ndarray | None,
+        total_data: int,
+    ) -> tuple[np.ndarray, list[IterationStats], bool]:
+        """Split one group's vertices into two sides; returns 0/1 labels."""
+        config = self.config
+        n_group = group.data_ids.size
+        if n_group == 0:
+            return np.empty(0, dtype=np.int32), [], True
+        proportions = np.array([left_span, right_span], dtype=np.float64)
+
+        if initial is not None:
+            # Warm start: route each vertex toward the child whose final
+            # bucket range contains its previous bucket.
+            prev = initial[group.data_ids]
+            side = (prev >= group.offset + left_span).astype(np.int32)
+            outside = (prev < group.offset) | (prev >= group.offset + group.span)
+            if outside.any():
+                side[outside] = balanced_random_assignment(
+                    int(outside.sum()), 2, rng, proportions=proportions
+                )
+        else:
+            side = balanced_random_assignment(n_group, 2, rng, proportions=proportions)
+
+        if n_group <= 2 or group.span < 2:
+            return side, [], True
+
+        subgraph, _ = graph.induced_subgraph(group.data_ids)
+        splits = (
+            np.array([left_span, right_span], dtype=np.float64)
+            if config.use_final_pfanout
+            else None
+        )
+        objective = build_objective(config, splits_ahead=splits)
+        # Capacities are measured against the *global* per-leaf target so
+        # per-level overshoot cannot compound multiplicatively down the tree:
+        # a child may hold at most (1 + ε_eff) times its share of n/k.
+        global_target = np.array([left_span, right_span], dtype=np.float64) * (
+            total_data / config.k
+        )
+        caps = np.maximum(
+            np.floor((1.0 + eps_eff) * global_target),
+            np.ceil(global_target),
+        ).astype(np.int64)
+        deficit = n_group - int(caps.sum())
+        if deficit > 0:
+            # The group inherited more vertices than both children may hold;
+            # relax proportionally so the bisection stays feasible.
+            share = proportions / proportions.sum()
+            caps += np.ceil(deficit * share).astype(np.int64)
+        outcome = refine(
+            subgraph,
+            side,
+            2,
+            objective,
+            config,
+            caps,
+            rng,
+            config.iterations_per_bisection,
+        )
+        return outcome.assignment, outcome.history, outcome.converged
+
+
+def shp_2(graph: BipartiteGraph, k: int, **kwargs) -> PartitionResult:
+    """Convenience wrapper: ``shp_2(graph, k, p=0.5, seed=1, ...)``."""
+    return SHP2Partitioner(SHPConfig(k=k, **kwargs)).partition(graph)

@@ -1,0 +1,70 @@
+"""SHP-k: direct k-way fanout optimization (Algorithm 1).
+
+Partitions all data vertices into k buckets in one refinement loop.  Cost is
+``O(k |E|)`` per iteration (Section 3.3), so this variant suits moderate k;
+for large k use :class:`~repro.core.shp_2.SHP2Partitioner`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..hypergraph.bipartite import BipartiteGraph
+from .config import SHPConfig
+from .partition import balanced_random_assignment, capacities, validate_assignment
+from .refinement import build_objective, refine
+from .result import PartitionResult
+
+__all__ = ["SHPKPartitioner", "shp_k"]
+
+
+class SHPKPartitioner:
+    """Direct k-way Social Hash Partitioner."""
+
+    def __init__(self, config: SHPConfig):
+        self.config = config
+
+    def partition(
+        self, graph: BipartiteGraph, initial: np.ndarray | None = None
+    ) -> PartitionResult:
+        """Partition ``graph.num_data`` vertices into ``config.k`` buckets.
+
+        ``initial`` warm-starts the search (incremental repartitioning,
+        Section 5); by default every vertex picks a uniform random bucket.
+        """
+        config = self.config
+        start = time.perf_counter()
+        rng = np.random.default_rng(config.seed)
+        if initial is None:
+            assignment = balanced_random_assignment(graph.num_data, config.k, rng)
+        else:
+            validate_assignment(initial, graph.num_data, config.k)
+            assignment = np.asarray(initial, dtype=np.int32).copy()
+        objective = build_objective(config)
+        caps = capacities(graph.num_data, config.k, config.epsilon)
+        outcome = refine(
+            graph,
+            assignment,
+            config.k,
+            objective,
+            config,
+            caps,
+            rng,
+            config.max_iterations,
+        )
+        return PartitionResult(
+            assignment=outcome.assignment,
+            k=config.k,
+            method="SHP-k",
+            converged=outcome.converged,
+            elapsed_sec=time.perf_counter() - start,
+            history=outcome.history,
+            extra={"objective": objective.name},
+        )
+
+
+def shp_k(graph: BipartiteGraph, k: int, **kwargs) -> PartitionResult:
+    """Convenience wrapper: ``shp_k(graph, k, p=0.5, seed=1, ...)``."""
+    return SHPKPartitioner(SHPConfig(k=k, **kwargs)).partition(graph)

@@ -1,0 +1,23 @@
+"""Vertex-centric (Giraph-like) execution substrate with metered resources."""
+
+from .cluster import PAPER_MACHINE, ClusterSpec, CostModel, MachineSpec
+from .engine import GiraphEngine, JobResult, MasterProgram, VertexContext, VertexProgram
+from .messages import Combiner, SumCombiner, sizeof_payload
+from .metrics import JobMetrics, SuperstepMetrics
+
+__all__ = [
+    "MachineSpec",
+    "ClusterSpec",
+    "CostModel",
+    "PAPER_MACHINE",
+    "GiraphEngine",
+    "JobResult",
+    "VertexContext",
+    "VertexProgram",
+    "MasterProgram",
+    "Combiner",
+    "SumCombiner",
+    "sizeof_payload",
+    "JobMetrics",
+    "SuperstepMetrics",
+]

@@ -1,0 +1,54 @@
+"""Message payloads: size estimation and combiners.
+
+Giraph serializes messages between machines; the byte counts below mirror a
+compact binary encoding (8 bytes per scalar) so that the engine's
+communication metering matches the paper's complexity accounting
+(Section 3.3: superstep 2 sends at most ``fanout(q)`` entries per edge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sizeof_payload", "Combiner", "SumCombiner"]
+
+
+def sizeof_payload(payload: object) -> int:
+    """Approximate serialized size of a message payload in bytes."""
+    if payload is None:
+        return 1
+    if isinstance(payload, (bool, int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (tuple, list)):
+        return 8 + sum(sizeof_payload(item) for item in payload)
+    if isinstance(payload, dict):
+        return 8 + sum(
+            sizeof_payload(key) + sizeof_payload(value) for key, value in payload.items()
+        )
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    return 32  # conservative default for unknown objects
+
+
+class Combiner:
+    """Optional per-destination message combiner (Giraph's Combiner API).
+
+    When set on a program, messages addressed to the same destination vertex
+    from the same worker are combined before transmission, reducing remote
+    traffic — one of the built-in Giraph optimizations the paper highlights.
+    """
+
+    def combine(self, payloads: list) -> list:
+        """Combine payloads for one destination; returns the reduced list."""
+        raise NotImplementedError
+
+
+class SumCombiner(Combiner):
+    """Combine numeric messages by summing them."""
+
+    def combine(self, payloads: list) -> list:
+        if not payloads:
+            return payloads
+        return [sum(payloads)]

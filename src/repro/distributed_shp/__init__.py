@@ -1,0 +1,5 @@
+"""Distributed SHP: the 4-superstep vertex-centric job (Section 3.2)."""
+
+from .job import DistributedSHP, DistributedSHPResult
+
+__all__ = ["DistributedSHP", "DistributedSHPResult"]

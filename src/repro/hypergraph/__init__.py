@@ -1,0 +1,62 @@
+"""Hypergraph substrate: data structures, IO, generators, dataset registry."""
+
+from .bipartite import BipartiteGraph, GraphValidationError
+from .darwini import darwini_bipartite, darwini_friendship_edges
+from .datasets import DATASETS, DatasetSpec, dataset_names, load_dataset
+from .generators import (
+    community_bipartite,
+    figure2_graph,
+    figure2_reference_partition,
+    planted_partition_bipartite,
+    power_law_degrees,
+    random_bipartite,
+    ring_social_bipartite,
+    web_host_bipartite,
+)
+from .hypergraph import Hypergraph
+from .io import (
+    load_npz,
+    read_edge_list,
+    read_hmetis,
+    save_npz,
+    write_edge_list,
+    write_hmetis,
+)
+from .stats import (
+    GraphStats,
+    degree_histogram,
+    friendship_clustering_sample,
+    gini_coefficient,
+    graph_stats,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "GraphValidationError",
+    "Hypergraph",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "community_bipartite",
+    "darwini_bipartite",
+    "darwini_friendship_edges",
+    "figure2_graph",
+    "figure2_reference_partition",
+    "planted_partition_bipartite",
+    "power_law_degrees",
+    "random_bipartite",
+    "ring_social_bipartite",
+    "web_host_bipartite",
+    "read_hmetis",
+    "write_hmetis",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "GraphStats",
+    "graph_stats",
+    "degree_histogram",
+    "gini_coefficient",
+    "friendship_clustering_sample",
+]

@@ -1,0 +1,87 @@
+"""Hypergraph view over the bipartite representation.
+
+The paper treats both views as entirely equivalent (Section 1, Figure 1):
+a hyperedge is a query vertex, a hypergraph vertex is a data vertex.  Some
+users think in hypergraph terms (hMetis-style inputs), so this module offers
+a thin :class:`Hypergraph` facade that stores a :class:`BipartiteGraph`
+underneath and exposes hyperedge-flavoured accessors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .bipartite import BipartiteGraph
+
+__all__ = ["Hypergraph"]
+
+
+@dataclass
+class Hypergraph:
+    """A hypergraph backed by a bipartite query-data graph.
+
+    ``num_vertices`` data vertices; one hyperedge per query vertex.
+    """
+
+    bipartite: BipartiteGraph
+
+    @classmethod
+    def from_hyperedges(
+        cls,
+        hyperedges: Iterable[Sequence[int]],
+        num_vertices: int | None = None,
+        vertex_weights: np.ndarray | None = None,
+        name: str = "",
+    ) -> "Hypergraph":
+        return cls(
+            BipartiteGraph.from_hyperedges(
+                hyperedges, num_data=num_vertices, data_weights=vertex_weights, name=name
+            )
+        )
+
+    @property
+    def name(self) -> str:
+        return self.bipartite.name
+
+    @property
+    def num_vertices(self) -> int:
+        return self.bipartite.num_data
+
+    @property
+    def num_hyperedges(self) -> int:
+        return self.bipartite.num_queries
+
+    @property
+    def num_pins(self) -> int:
+        """Total number of (hyperedge, vertex) incidences."""
+        return self.bipartite.num_edges
+
+    def hyperedge(self, e: int) -> np.ndarray:
+        """Vertices spanned by hyperedge ``e``."""
+        return self.bipartite.query_neighbors(e)
+
+    def hyperedges(self) -> Iterator[np.ndarray]:
+        for e in range(self.num_hyperedges):
+            yield self.hyperedge(e)
+
+    def vertex_hyperedges(self, v: int) -> np.ndarray:
+        """Hyperedges containing vertex ``v``."""
+        return self.bipartite.data_neighbors(v)
+
+    def hyperedge_sizes(self) -> np.ndarray:
+        return self.bipartite.query_degrees
+
+    def vertex_degrees(self) -> np.ndarray:
+        return self.bipartite.data_degrees
+
+    def validate(self) -> None:
+        self.bipartite.validate()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Hypergraph(name={self.name!r}, vertices={self.num_vertices}, "
+            f"hyperedges={self.num_hyperedges}, pins={self.num_pins})"
+        )

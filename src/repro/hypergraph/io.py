@@ -1,0 +1,174 @@
+"""Serialization for bipartite graphs / hypergraphs.
+
+Three formats are supported:
+
+* **hMetis** (``.hgr``) — the de-facto exchange format among the partitioners
+  the paper compares against (hMetis, PaToH, Mondriaan, Parkway, Zoltan).
+  First line: ``num_hyperedges num_vertices [fmt]``; each subsequent line
+  lists the 1-based vertex ids of one hyperedge.  ``fmt`` 10/11 add vertex
+  (and hyperedge) weights; we read vertex weights and ignore hyperedge
+  weights, which SHP's objective does not use.
+* **edge list** (``.tsv``) — one ``query<TAB>data`` pair per line.
+* **NPZ** — a compact numpy archive for checkpoints and large graphs.
+"""
+
+from __future__ import annotations
+
+import io as _stdio
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from .bipartite import BipartiteGraph, GraphValidationError
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "write_hmetis",
+    "read_hmetis",
+    "write_edge_list",
+    "read_edge_list",
+    "save_npz",
+    "load_npz",
+]
+
+
+def _open_for_read(path_or_file) -> tuple[TextIO, bool]:
+    if hasattr(path_or_file, "read"):
+        return path_or_file, False
+    return open(path_or_file, "r", encoding="utf-8"), True
+
+
+def _open_for_write(path_or_file) -> tuple[TextIO, bool]:
+    if hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, "w", encoding="utf-8"), True
+
+
+def write_hmetis(graph: BipartiteGraph | Hypergraph, path_or_file) -> None:
+    """Write a graph in hMetis ``.hgr`` format (1-based vertex ids)."""
+    bip = graph.bipartite if isinstance(graph, Hypergraph) else graph
+    handle, owned = _open_for_write(path_or_file)
+    try:
+        has_weights = bip.data_weights is not None
+        fmt = " 10" if has_weights else ""
+        handle.write(f"{bip.num_queries} {bip.num_data}{fmt}\n")
+        for q in range(bip.num_queries):
+            pins = bip.query_neighbors(q) + 1
+            handle.write(" ".join(map(str, pins.tolist())) + "\n")
+        if has_weights:
+            weights = np.asarray(bip.data_weights)
+            primary = weights[:, 0] if weights.ndim == 2 else weights
+            for w in primary:
+                handle.write(f"{int(round(float(w)))}\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_hmetis(path_or_file, name: str = "") -> BipartiteGraph:
+    """Read an hMetis ``.hgr`` file into a :class:`BipartiteGraph`."""
+    handle, owned = _open_for_read(path_or_file)
+    try:
+        header = handle.readline().split()
+        if len(header) < 2:
+            raise GraphValidationError("hMetis header must contain at least two fields")
+        num_edges, num_vertices = int(header[0]), int(header[1])
+        fmt = header[2] if len(header) > 2 else "0"
+        has_edge_weights = fmt in ("1", "11")
+        has_vertex_weights = fmt in ("10", "11")
+        qs: list[int] = []
+        ds: list[int] = []
+        for qid in range(num_edges):
+            line = handle.readline()
+            if not line:
+                raise GraphValidationError(f"expected {num_edges} hyperedges, file ended early")
+            fields = line.split()
+            if has_edge_weights:
+                fields = fields[1:]  # hyperedge weight unused by fanout objectives
+            for f in fields:
+                qs.append(qid)
+                ds.append(int(f) - 1)
+        weights = None
+        if has_vertex_weights:
+            weights = np.empty(num_vertices, dtype=np.float64)
+            for v in range(num_vertices):
+                line = handle.readline()
+                if not line:
+                    raise GraphValidationError("vertex weight section ended early")
+                weights[v] = float(line.split()[0])
+        return BipartiteGraph.from_edges(
+            qs, ds, num_queries=num_edges, num_data=num_vertices, data_weights=weights, name=name
+        )
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_edge_list(graph: BipartiteGraph, path_or_file) -> None:
+    """Write ``query<TAB>data`` pairs, one incidence per line."""
+    handle, owned = _open_for_write(path_or_file)
+    try:
+        q_of_edge = graph.q_of_edge
+        buf = _stdio.StringIO()
+        for q, d in zip(q_of_edge.tolist(), graph.q_indices.tolist()):
+            buf.write(f"{q}\t{d}\n")
+        handle.write(buf.getvalue())
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_edge_list(path_or_file, name: str = "") -> BipartiteGraph:
+    """Read ``query<TAB>data`` pairs (comments with ``#`` allowed)."""
+    handle, owned = _open_for_read(path_or_file)
+    try:
+        qs: list[int] = []
+        ds: list[int] = []
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            qs.append(int(parts[0]))
+            ds.append(int(parts[1]))
+        return BipartiteGraph.from_edges(qs, ds, name=name)
+    finally:
+        if owned:
+            handle.close()
+
+
+def save_npz(graph: BipartiteGraph, path: str | Path) -> None:
+    """Save a graph as a compact ``.npz`` archive."""
+    payload = {
+        "num_queries": np.int64(graph.num_queries),
+        "num_data": np.int64(graph.num_data),
+        "q_indptr": graph.q_indptr,
+        "q_indices": graph.q_indices,
+        "name": np.str_(graph.name),
+    }
+    if graph.data_weights is not None:
+        payload["data_weights"] = np.asarray(graph.data_weights)
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: str | Path) -> BipartiteGraph:
+    """Load a graph produced by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as archive:
+        q_indptr = archive["q_indptr"]
+        q_indices = archive["q_indices"]
+        num_queries = int(archive["num_queries"])
+        num_data = int(archive["num_data"])
+        name = str(archive["name"])
+        weights = archive["data_weights"] if "data_weights" in archive else None
+    degrees = np.diff(q_indptr)
+    q_of_edge = np.repeat(np.arange(num_queries, dtype=np.int64), degrees)
+    return BipartiteGraph.from_edges(
+        q_of_edge,
+        q_indices,
+        num_queries=num_queries,
+        num_data=num_data,
+        data_weights=weights,
+        name=name,
+        dedupe=False,
+    )

@@ -1,0 +1,129 @@
+"""Summary statistics for bipartite graphs (Table 1 style reporting)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bipartite import BipartiteGraph
+
+__all__ = [
+    "GraphStats",
+    "graph_stats",
+    "degree_histogram",
+    "gini_coefficient",
+    "friendship_clustering_sample",
+]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Size and degree-shape summary of a bipartite graph."""
+
+    name: str
+    num_queries: int
+    num_data: int
+    num_edges: int
+    mean_query_degree: float
+    max_query_degree: int
+    mean_data_degree: float
+    max_data_degree: int
+    query_degree_gini: float
+    data_degree_gini: float
+
+    def row(self) -> dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "hypergraph": self.name,
+            "|Q|": self.num_queries,
+            "|D|": self.num_data,
+            "|E|": self.num_edges,
+            "avg deg(q)": round(self.mean_query_degree, 2),
+            "max deg(q)": self.max_query_degree,
+            "avg deg(d)": round(self.mean_data_degree, 2),
+            "max deg(d)": self.max_data_degree,
+        }
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (degree-skew summary)."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    n = v.size
+    if n == 0 or v.sum() == 0:
+        return 0.0
+    cum = np.cumsum(v)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+def degree_histogram(degrees: np.ndarray, num_bins: int = 20) -> list[tuple[int, int, int]]:
+    """Log-spaced degree histogram: list of (lo, hi, count) bins."""
+    degrees = np.asarray(degrees)
+    if degrees.size == 0:
+        return []
+    max_deg = int(degrees.max())
+    edges = np.unique(
+        np.round(np.logspace(0, np.log10(max(2, max_deg + 1)), num_bins)).astype(np.int64)
+    )
+    counts, _ = np.histogram(degrees, bins=np.concatenate([[0], edges]))
+    out: list[tuple[int, int, int]] = []
+    lo = 0
+    for hi, c in zip(edges.tolist(), counts.tolist()):
+        out.append((lo, hi, int(c)))
+        lo = hi
+    return out
+
+
+def graph_stats(graph: BipartiteGraph) -> GraphStats:
+    """Compute the summary used by the Table 1 benchmark."""
+    q_deg = graph.query_degrees
+    d_deg = graph.data_degrees
+    return GraphStats(
+        name=graph.name,
+        num_queries=graph.num_queries,
+        num_data=graph.num_data,
+        num_edges=graph.num_edges,
+        mean_query_degree=float(q_deg.mean()) if q_deg.size else 0.0,
+        max_query_degree=int(q_deg.max()) if q_deg.size else 0,
+        mean_data_degree=float(d_deg.mean()) if d_deg.size else 0.0,
+        max_data_degree=int(d_deg.max()) if d_deg.size else 0,
+        query_degree_gini=gini_coefficient(q_deg),
+        data_degree_gini=gini_coefficient(d_deg),
+    )
+
+
+def friendship_clustering_sample(
+    edges_u: np.ndarray,
+    edges_v: np.ndarray,
+    num_vertices: int,
+    sample: int = 300,
+    seed: int = 0,
+) -> float:
+    """Mean local clustering coefficient of a friendship graph (sampled).
+
+    Validates the Darwini-like generator: Darwini's whole point is matching
+    the joint degree/clustering distribution, so the stand-in must produce
+    substantially more triangles than a degree-matched random graph.
+    """
+    rng = np.random.default_rng(seed)
+    neighbors: dict[int, set[int]] = {}
+    for a, b in zip(edges_u.tolist(), edges_v.tolist()):
+        neighbors.setdefault(a, set()).add(b)
+        neighbors.setdefault(b, set()).add(a)
+    candidates = [v for v, ns in neighbors.items() if len(ns) >= 2]
+    if not candidates:
+        return 0.0
+    picks = rng.choice(len(candidates), size=min(sample, len(candidates)), replace=False)
+    total = 0.0
+    for idx in picks.tolist():
+        v = candidates[idx]
+        ns = list(neighbors[v])
+        degree = len(ns)
+        closed = 0
+        for i in range(degree):
+            ni = neighbors[ns[i]]
+            for j in range(i + 1, degree):
+                if ns[j] in ni:
+                    closed += 1
+        total += 2.0 * closed / (degree * (degree - 1))
+    return total / len(picks)

@@ -1,0 +1,55 @@
+"""Objectives (Section 3.1): p-fanout family, clique-net, and metrics."""
+
+from __future__ import annotations
+
+from .base import SeparableObjective
+from .cliquenet import CliqueNetObjective
+from .evaluate import (
+    PartitionQuality,
+    objective_value,
+    average_fanout,
+    average_pfanout,
+    bucket_counts,
+    evaluate_partition,
+    hyperedge_cut,
+    imbalance,
+    soed,
+    weighted_edge_cut,
+)
+from .pfanout import FanoutObjective, PFanoutObjective, ScaledPFanout
+
+__all__ = [
+    "SeparableObjective",
+    "PFanoutObjective",
+    "FanoutObjective",
+    "ScaledPFanout",
+    "CliqueNetObjective",
+    "get_objective",
+    "bucket_counts",
+    "objective_value",
+    "average_fanout",
+    "average_pfanout",
+    "soed",
+    "hyperedge_cut",
+    "weighted_edge_cut",
+    "imbalance",
+    "PartitionQuality",
+    "evaluate_partition",
+]
+
+
+def get_objective(name: str, p: float = 0.5) -> SeparableObjective:
+    """Objective registry.
+
+    ``pfanout`` (default p = 0.5, the paper's recommended setting),
+    ``fanout`` (p = 1, direct fanout optimization), and ``cliquenet``
+    (the exact p → 0 limit).
+    """
+    key = name.lower().replace("_", "").replace("-", "")
+    if key in ("pfanout", "probabilisticfanout"):
+        return PFanoutObjective(p=p)
+    if key == "fanout":
+        return FanoutObjective()
+    if key in ("cliquenet", "edgecut", "weightededgecut"):
+        return CliqueNetObjective()
+    raise KeyError(f"unknown objective {name!r}; known: pfanout, fanout, cliquenet")

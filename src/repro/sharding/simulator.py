@@ -1,0 +1,117 @@
+"""Traffic replay over a sharded store: fanout and latency per query.
+
+Reproduces the paper's realistic experiment (Fig. 4b): shard a friendship
+graph's records over servers with some partitioner, replay a sampled
+traffic pattern of multi-get queries, and record each query's fanout and
+latency.  Aggregations by fanout produce the percentile-vs-fanout curves;
+summary statistics give the random-vs-SHP sharding comparison ("2x lower
+average latency", §4.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hypergraph.bipartite import BipartiteGraph
+from .latency import LatencyModel
+from .store import ShardedKVStore
+
+__all__ = ["QuerySample", "ReplayResult", "replay_traffic", "latency_by_fanout"]
+
+
+@dataclass(frozen=True)
+class QuerySample:
+    """One multi-get observation."""
+
+    fanout: int
+    latency_ms: float
+    num_records: int
+
+
+@dataclass
+class ReplayResult:
+    """All samples from one traffic replay plus store-side load counters."""
+
+    samples: list[QuerySample] = field(default_factory=list)
+    requests_total: int = 0
+    records_total: int = 0
+
+    @property
+    def fanouts(self) -> np.ndarray:
+        return np.array([s.fanout for s in self.samples], dtype=np.int64)
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return np.array([s.latency_ms for s in self.samples], dtype=np.float64)
+
+    def mean_fanout(self) -> float:
+        return float(self.fanouts.mean()) if self.samples else 0.0
+
+    def mean_latency(self) -> float:
+        return float(self.latencies.mean()) if self.samples else 0.0
+
+    def latency_percentile(self, p: float) -> float:
+        return float(np.percentile(self.latencies, p)) if self.samples else 0.0
+
+    def cpu_proxy(self, ms_per_request: float = 0.05, ms_per_record: float = 0.002) -> float:
+        """Storage-tier CPU model: fixed cost per request + per record.
+
+        Lower fanout means fewer requests for the same records, which is
+        the mechanism behind the paper's observed CPU reduction.
+        """
+        return ms_per_request * self.requests_total + ms_per_record * self.records_total
+
+
+def replay_traffic(
+    graph: BipartiteGraph,
+    assignment: np.ndarray,
+    num_servers: int,
+    query_ids: np.ndarray,
+    latency_model: LatencyModel | None = None,
+    seed: int = 0,
+) -> ReplayResult:
+    """Replay ``query_ids`` as multi-gets against the sharded store."""
+    model = latency_model or LatencyModel()
+    rng = np.random.default_rng(seed)
+    store = ShardedKVStore(num_servers=num_servers, assignment=assignment)
+    result = ReplayResult()
+    for q in np.asarray(query_ids, dtype=np.int64).tolist():
+        keys = graph.query_neighbors(q)
+        if keys.size == 0:
+            continue
+        _, counts = store.plan_multiget(keys)
+        latency = model.multiget(rng, counts)
+        result.samples.append(
+            QuerySample(fanout=int(counts.size), latency_ms=latency, num_records=int(keys.size))
+        )
+    result.requests_total = int(store.requests_per_server.sum())
+    result.records_total = int(store.records_per_server.sum())
+    return result
+
+
+def latency_by_fanout(
+    result: ReplayResult,
+    percentiles: tuple[float, ...] = (50.0, 90.0, 95.0, 99.0),
+    max_fanout: int | None = None,
+    min_samples: int = 20,
+) -> dict[int, dict[float, float]]:
+    """Percentile latency per observed fanout value (the Fig. 4b curves).
+
+    Fanouts with fewer than ``min_samples`` observations are dropped, as
+    the paper drops fanout > 35 ("there are very few such queries").
+    """
+    fanouts = result.fanouts
+    latencies = result.latencies
+    out: dict[int, dict[float, float]] = {}
+    for fanout in np.unique(fanouts).tolist():
+        if max_fanout is not None and fanout > max_fanout:
+            continue
+        mask = fanouts == fanout
+        if int(mask.sum()) < min_samples:
+            continue
+        out[int(fanout)] = {
+            p: float(np.percentile(latencies[mask], p)) for p in percentiles
+        }
+    return out

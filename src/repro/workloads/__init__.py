@@ -1,0 +1,5 @@
+"""Query workload generation and sampling."""
+
+from .traffic import sample_queries, zipf_weights
+
+__all__ = ["sample_queries", "zipf_weights"]

@@ -1,0 +1,42 @@
+"""Traffic pattern sampling (the paper's "sample a live traffic pattern").
+
+Real request streams are popularity-skewed: a small set of hot queries
+dominates.  We model this with Zipf-weighted sampling (with repetition)
+over the graph's query vertices; uniform sampling is available for
+sensitivity checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hypergraph.bipartite import BipartiteGraph
+
+__all__ = ["sample_queries", "zipf_weights"]
+
+
+def zipf_weights(count: int, exponent: float = 0.8, seed: int = 0) -> np.ndarray:
+    """Zipf popularity over ``count`` items in a random rank order."""
+    rng = np.random.default_rng(seed)
+    ranks = rng.permutation(count) + 1
+    weights = 1.0 / np.power(ranks, exponent)
+    return weights / weights.sum()
+
+
+def sample_queries(
+    graph: BipartiteGraph,
+    num_samples: int,
+    skew: float = 0.8,
+    seed: int = 0,
+) -> np.ndarray:
+    """Draw a traffic trace of query ids (with repetition, Zipf-skewed).
+
+    ``skew = 0`` degenerates to uniform sampling.
+    """
+    rng = np.random.default_rng(seed)
+    if graph.num_queries == 0:
+        return np.empty(0, dtype=np.int64)
+    if skew <= 0:
+        return rng.integers(0, graph.num_queries, size=num_samples, dtype=np.int64)
+    weights = zipf_weights(graph.num_queries, exponent=skew, seed=seed)
+    return rng.choice(graph.num_queries, size=num_samples, p=weights)

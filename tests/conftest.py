@@ -1,0 +1,44 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import (
+    BipartiteGraph,
+    community_bipartite,
+    planted_partition_bipartite,
+)
+
+
+@pytest.fixture
+def tiny_graph() -> BipartiteGraph:
+    """Hand-checkable graph: 3 queries over 6 data vertices (Figure 1)."""
+    # The paper's Figure 1: queries {1,2,6}, {1,2,3,4}, {4,5,6} (0-based here).
+    return BipartiteGraph.from_hyperedges(
+        [[0, 1, 5], [0, 1, 2, 3], [3, 4, 5]], num_data=6, name="figure1"
+    )
+
+
+@pytest.fixture
+def planted_graph() -> BipartiteGraph:
+    """Planted 4-way partition with light noise; SHP should recover it."""
+    return planted_partition_bipartite(
+        num_data=240, num_parts=4, queries_per_part=150, query_degree=5,
+        noise=0.03, seed=11,
+    )
+
+
+@pytest.fixture
+def medium_graph() -> BipartiteGraph:
+    """Community-structured graph big enough for meaningful refinement."""
+    return community_bipartite(
+        num_queries=800, num_data=1200, num_edges=8000,
+        num_communities=16, mixing=0.2, seed=7,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

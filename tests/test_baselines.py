@@ -1,0 +1,193 @@
+"""Tests for the baseline registry, simple baselines, and resource model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GraphShape,
+    ParkwayLikePartitioner,
+    calibrate_cost_model,
+    estimate_parkway_like,
+    estimate_shp,
+    estimate_zoltan_like,
+    expected_random_fanout,
+    get_partitioner,
+    hash_partitioner,
+    label_propagation_partitioner,
+    partitioner_names,
+    random_partitioner,
+    spectral_partitioner,
+)
+from repro.core import balanced_random_assignment
+from repro.distributed import ClusterSpec, CostModel
+from repro.objectives import average_fanout, imbalance
+
+
+class TestRegistry:
+    def test_all_names_resolve(self, medium_graph):
+        for name in partitioner_names():
+            fn = get_partitioner(name)
+            assert callable(fn)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_partitioner("metis")
+
+    def test_uniform_interface(self, medium_graph):
+        for name in ("random", "hash", "label-prop"):
+            result = get_partitioner(name)(medium_graph, k=4, epsilon=0.05, seed=1)
+            assert result.assignment.size == medium_graph.num_data
+            assert result.k == 4
+
+
+class TestSimpleBaselines:
+    def test_random_balanced(self, medium_graph):
+        result = random_partitioner(medium_graph, 8, seed=1)
+        assert imbalance(result.assignment, 8) < 0.01
+
+    def test_hash_deterministic(self, medium_graph):
+        a = hash_partitioner(medium_graph, 8)
+        b = hash_partitioner(medium_graph, 8)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_label_prop_improves(self, medium_graph):
+        result = label_propagation_partitioner(medium_graph, 8, seed=1)
+        rng = np.random.default_rng(0)
+        random_assign = balanced_random_assignment(medium_graph.num_data, 8, rng)
+        assert average_fanout(medium_graph, result.assignment, 8) < average_fanout(
+            medium_graph, random_assign, 8
+        )
+
+    def test_label_prop_balance(self, medium_graph):
+        result = label_propagation_partitioner(medium_graph, 8, seed=1)
+        assert imbalance(result.assignment, 8) <= 0.05 + 1e-9
+
+    def test_spectral_runs_and_balances(self, planted_graph):
+        result = spectral_partitioner(planted_graph, 4, seed=1)
+        assert np.unique(result.assignment).size == 4
+        assert imbalance(result.assignment, 4) < 0.2
+
+    def test_parkway_profile_populated(self, medium_graph):
+        partitioner = ParkwayLikePartitioner(k=4, seed=1)
+        result = partitioner.partition(medium_graph)
+        assert result.extra["coordinator_peak_bytes"] > 0
+        assert partitioner.profile.peak_move_entries == medium_graph.num_data
+
+
+class TestExpectedRandomFanout:
+    def test_bounds(self):
+        assert expected_random_fanout(10.0, 1) == 1.0
+        assert expected_random_fanout(5.0, 8) <= 5.0
+        assert expected_random_fanout(100.0, 8) <= 8.0
+
+    def test_monotone_in_degree(self):
+        low = expected_random_fanout(2.0, 16)
+        high = expected_random_fanout(50.0, 16)
+        assert high > low
+
+    def test_degree_one(self):
+        assert np.isclose(expected_random_fanout(1.0, 40), 1.0)
+
+
+_PAPER_CLUSTER = ClusterSpec(num_workers=4)
+
+
+def _shape(name, q, d, e, family="social"):
+    return GraphShape(name=name, num_queries=q, num_data=d, num_edges=e, family=family)
+
+
+# Published sizes (Table 1) for the Table 3 graphs.
+POKEC = _shape("soc-Pokec", 1_277_002, 1_632_803, 30_466_873)
+LJ = _shape("soc-LJ", 3_392_317, 4_847_571, 68_077_638)
+FB50M = _shape("FB-50M", 152_263, 154_551, 49_998_426, "facebook")
+FB2B = _shape("FB-2B", 6_063_442, 6_153_846, 2_000_000_000, "facebook")
+FB10B = _shape("FB-10B", 30_302_615, 40_361_708, 10_000_000_000, "facebook")
+
+
+class TestResourceModelPattern:
+    """The model must reproduce Table 3's feasibility pattern."""
+
+    def test_shp2_feasible_everywhere(self):
+        for shape in (POKEC, LJ, FB50M, FB2B, FB10B):
+            for k in (32, 512, 8192):
+                est = estimate_shp(shape, k, _PAPER_CLUSTER, mode="2")
+                assert est.status == "ok", (shape.name, k, est.status)
+
+    def test_shpk_struggles_at_scale(self):
+        ok_small = estimate_shp(FB10B, 32, _PAPER_CLUSTER, mode="k")
+        big = estimate_shp(FB10B, 8192, _PAPER_CLUSTER, mode="k")
+        assert ok_small.status == "ok"
+        assert big.status != "ok"  # paper: blank cell (did not finish)
+
+    def test_zoltan_fails_beyond_lj(self):
+        assert estimate_zoltan_like(POKEC, 32, _PAPER_CLUSTER).status == "ok"
+        assert estimate_zoltan_like(LJ, 32, _PAPER_CLUSTER).status == "ok"
+        assert estimate_zoltan_like(FB50M, 32, _PAPER_CLUSTER).status == "ok"
+        for shape in (FB2B, FB10B):
+            assert estimate_zoltan_like(shape, 32, _PAPER_CLUSTER).status == "oom"
+
+    def test_parkway_pattern(self):
+        # Paper: Parkway only ran FB-50M; OOM on the vertex-heavy graphs.
+        assert estimate_parkway_like(FB50M, 32, _PAPER_CLUSTER).status == "ok"
+        for shape in (POKEC, LJ, FB2B, FB10B):
+            assert estimate_parkway_like(shape, 32, _PAPER_CLUSTER).status == "oom"
+
+    def test_shp2_scales_with_log_k(self):
+        t32 = estimate_shp(FB2B, 32, _PAPER_CLUSTER, mode="2").minutes
+        t8192 = estimate_shp(FB2B, 8192, _PAPER_CLUSTER, mode="2").minutes
+        ratio = t8192 / t32
+        assert 1.5 < ratio < 5.0  # log2(8192)/log2(32) = 2.6
+
+    def test_shpk_scales_linearly_with_k(self):
+        t32 = estimate_shp(FB50M, 32, _PAPER_CLUSTER, mode="k")
+        t512 = estimate_shp(FB50M, 512, _PAPER_CLUSTER, mode="k")
+        assert t512.minutes > 5 * t32.minutes
+
+    def test_more_machines_reduce_runtime_sublinearly(self):
+        t4 = estimate_shp(FB10B, 512, ClusterSpec(num_workers=4), mode="2").minutes
+        t16 = estimate_shp(FB10B, 512, ClusterSpec(num_workers=16), mode="2").minutes
+        assert t16 < t4  # faster
+        assert t16 > t4 / 4  # but not 4x faster (communication + barriers)
+
+    def test_display_strings(self):
+        est = estimate_zoltan_like(FB2B, 32, _PAPER_CLUSTER)
+        assert est.display == "OOM"
+        est_ok = estimate_zoltan_like(POKEC, 32, _PAPER_CLUSTER)
+        assert est_ok.display.replace(".", "").isdigit()
+
+
+class TestCalibration:
+    def test_empty_runs_returns_base(self):
+        base = CostModel()
+        assert calibrate_cost_model([], base) == base
+
+    def test_recovers_synthetic_constants(self):
+        from repro.distributed.metrics import JobMetrics, SuperstepMetrics
+
+        true = CostModel(sec_per_op=3e-8, sec_per_message=2e-7,
+                         bytes_per_sec=5e8, barrier_sec=0.1)
+        runs = []
+        rng = np.random.default_rng(1)
+        for _ in range(12):
+            metrics = JobMetrics(cluster=_PAPER_CLUSTER)
+            total = 0.0
+            for s in range(3):
+                ops = float(rng.integers(10**6, 10**8))
+                msgs = float(rng.integers(10**5, 10**7))
+                byts = float(rng.integers(10**6, 10**9))
+                metrics.add(
+                    SuperstepMetrics(
+                        superstep=s,
+                        ops_per_worker=np.array([ops]),
+                        messages_per_worker=np.array([msgs]),
+                        remote_bytes_per_worker=np.array([byts]),
+                    )
+                )
+                total += true.superstep_seconds(ops, msgs, byts)
+            runs.append((metrics, total))
+        fitted = calibrate_cost_model(runs, CostModel(barrier_sec=0.1))
+        assert np.isclose(fitted.sec_per_op, true.sec_per_op, rtol=0.1)
+        assert np.isclose(fitted.sec_per_message, true.sec_per_message, rtol=0.1)
+        assert np.isclose(fitted.bytes_per_sec, true.bytes_per_sec, rtol=0.1)

@@ -1,0 +1,168 @@
+"""Unit tests for the bipartite graph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import BipartiteGraph, GraphValidationError
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = BipartiteGraph.from_edges([0, 0, 1], [0, 1, 1], num_queries=2, num_data=2)
+        assert g.num_queries == 2
+        assert g.num_data == 2
+        assert g.num_edges == 3
+        g.validate()
+
+    def test_from_edges_infers_sizes(self):
+        g = BipartiteGraph.from_edges([0, 3], [5, 2])
+        assert g.num_queries == 4
+        assert g.num_data == 6
+
+    def test_from_edges_dedupes(self):
+        g = BipartiteGraph.from_edges([0, 0, 0], [1, 1, 1])
+        assert g.num_edges == 1
+
+    def test_from_edges_keeps_duplicates_when_asked(self):
+        g = BipartiteGraph.from_edges([0, 0], [1, 1], dedupe=False)
+        assert g.num_edges == 2
+
+    def test_from_hyperedges(self, tiny_graph):
+        assert tiny_graph.num_queries == 3
+        assert tiny_graph.num_data == 6
+        assert tiny_graph.num_edges == 3 + 4 + 3
+        tiny_graph.validate()
+
+    def test_from_hyperedges_empty(self):
+        g = BipartiteGraph.from_hyperedges([], num_data=4)
+        assert g.num_queries == 0
+        assert g.num_data == 4
+        g.validate()
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_edges([0], [-1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_edges([0], [5], num_data=3)
+
+    def test_mismatched_edge_arrays_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_edges([0, 1], [0])
+
+
+class TestAccessors:
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.query_degrees.tolist() == [3, 4, 3]
+        assert tiny_graph.data_degrees.tolist() == [2, 2, 1, 2, 1, 2]
+
+    def test_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.query_neighbors(0).tolist()) == [0, 1, 5]
+        assert sorted(tiny_graph.data_neighbors(3).tolist()) == [1, 2]
+
+    def test_edge_expansion_arrays(self, tiny_graph):
+        q = tiny_graph.q_of_edge
+        assert q.tolist() == [0, 0, 0, 1, 1, 1, 1, 2, 2, 2]
+        d = tiny_graph.d_of_edge
+        assert len(d) == tiny_graph.num_edges
+        # d_of_edge aligned with d_indices: each pair is a real edge.
+        for e in range(tiny_graph.num_edges):
+            v = int(d[e])
+            assert v in tiny_graph.query_neighbors(int(tiny_graph.d_indices[e]))
+
+    def test_weights_or_unit_default(self, tiny_graph):
+        assert np.array_equal(tiny_graph.weights_or_unit(), np.ones(6))
+
+    def test_weights_or_unit_multidim(self):
+        w = np.arange(8, dtype=np.float64).reshape(4, 2)
+        g = BipartiteGraph.from_edges([0, 0], [0, 1], num_data=4, data_weights=w)
+        assert np.array_equal(g.weights_or_unit(), w[:, 0])
+
+    def test_memory_footprint_positive(self, tiny_graph):
+        assert tiny_graph.memory_footprint_bytes() > 0
+
+
+class TestValidation:
+    def test_validate_catches_direction_mismatch(self, tiny_graph):
+        broken = BipartiteGraph(
+            num_queries=tiny_graph.num_queries,
+            num_data=tiny_graph.num_data,
+            q_indptr=tiny_graph.q_indptr,
+            q_indices=tiny_graph.q_indices,
+            d_indptr=tiny_graph.d_indptr,
+            d_indices=np.roll(tiny_graph.d_indices, 1),
+        )
+        with pytest.raises(GraphValidationError):
+            broken.validate()
+
+    def test_validate_catches_bad_indptr(self, tiny_graph):
+        broken = BipartiteGraph(
+            num_queries=tiny_graph.num_queries,
+            num_data=tiny_graph.num_data,
+            q_indptr=tiny_graph.q_indptr.copy(),
+            q_indices=tiny_graph.q_indices[:-1],
+            d_indptr=tiny_graph.d_indptr,
+            d_indices=tiny_graph.d_indices,
+        )
+        with pytest.raises(GraphValidationError):
+            broken.validate()
+
+
+class TestTransformations:
+    def test_remove_small_queries(self):
+        g = BipartiteGraph.from_hyperedges([[0], [1, 2], [3, 4, 5]], num_data=6)
+        filtered = g.remove_small_queries()
+        assert filtered.num_queries == 2
+        assert filtered.num_data == 6  # data side untouched
+        assert filtered.num_edges == 5
+
+    def test_remove_small_queries_noop(self, tiny_graph):
+        assert tiny_graph.remove_small_queries() is tiny_graph
+
+    def test_induced_subgraph_mapping(self, tiny_graph):
+        sub, ids = tiny_graph.induced_subgraph(np.array([0, 1, 2, 3]))
+        assert ids.tolist() == [0, 1, 2, 3]
+        # Query {0,1,2,3} fully survives; {0,1,5} restricts to {0,1};
+        # {3,4,5} restricts to {3} and is dropped (degree < 2).
+        assert sub.num_queries == 2
+        assert sub.num_data == 4
+        sub.validate()
+
+    def test_induced_subgraph_relabels_locally(self, tiny_graph):
+        sub, ids = tiny_graph.induced_subgraph(np.array([3, 4, 5]))
+        assert sub.num_data == 3
+        # local id i corresponds to original ids[i]
+        assert ids.tolist() == [3, 4, 5]
+        for q in range(sub.num_queries):
+            assert sub.query_neighbors(q).max() < 3
+
+    def test_edge_subsample_fraction_one(self, tiny_graph):
+        same = tiny_graph.edge_subsample(1.0, seed=1)
+        assert same.num_edges == tiny_graph.num_edges
+
+    def test_edge_subsample_reduces(self, medium_graph):
+        sampled = medium_graph.edge_subsample(0.5, seed=1)
+        assert sampled.num_edges < medium_graph.num_edges
+        assert sampled.num_data == medium_graph.num_data
+        sampled.validate()
+
+    def test_edge_subsample_rejects_bad_fraction(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.edge_subsample(0.0)
+
+    def test_clique_net_edges_weights(self):
+        # Two queries sharing the pair (0, 1): weight 2 on that pair.
+        g = BipartiteGraph.from_hyperedges([[0, 1], [0, 1, 2]], num_data=3)
+        u, v, w = g.clique_net_edges()
+        pairs = {(int(a), int(b)): float(c) for a, b, c in zip(u, v, w)}
+        assert pairs[(0, 1)] == 2.0
+        assert pairs[(0, 2)] == 1.0
+        assert pairs[(1, 2)] == 1.0
+
+    def test_clique_net_edges_sampled_cap(self, medium_graph):
+        u, v, w = medium_graph.clique_net_edges(max_pairs_per_query=5, seed=3)
+        assert u.size <= 5 * medium_graph.num_queries
+        assert np.all(u < v)

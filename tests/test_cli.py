@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.hypergraph import community_bipartite, write_hmetis
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = community_bipartite(200, 300, 2000, num_communities=8, seed=3)
+    path = tmp_path / "g.hgr"
+    write_hmetis(graph, path)
+    return path, graph
+
+
+class TestPartitionCommand:
+    def test_partition_writes_assignment(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        out = tmp_path / "assign.txt"
+        rc = main(["partition", str(path), "-k", "4", "-o", str(out), "--seed", "1"])
+        assert rc == 0
+        assignment = np.loadtxt(out, dtype=np.int64)
+        assert assignment.size == graph.num_data
+        assert assignment.max() < 4
+        assert "fanout" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algorithm", ["shp-k", "random", "label-prop"])
+    def test_other_algorithms(self, graph_file, algorithm, capsys):
+        path, _ = graph_file
+        rc = main(["partition", str(path), "-k", "4", "--algorithm", algorithm])
+        assert rc == 0
+        assert algorithm in capsys.readouterr().out
+
+    def test_objective_flag(self, graph_file, capsys):
+        path, _ = graph_file
+        rc = main(["partition", str(path), "-k", "4", "--objective", "cliquenet"])
+        assert rc == 0
+
+    def test_bad_format_rejected(self, tmp_path):
+        bad = tmp_path / "g.parquet"
+        bad.write_text("")
+        with pytest.raises(SystemExit):
+            main(["partition", str(bad), "-k", "4"])
+
+
+class TestEvaluateCommand:
+    def test_round_trip(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        out = tmp_path / "assign.txt"
+        main(["partition", str(path), "-k", "4", "-o", str(out), "--seed", "1"])
+        capsys.readouterr()
+        rc = main(["evaluate", str(path), str(out)])
+        assert rc == 0
+        assert "fanout" in capsys.readouterr().out
+
+    def test_length_mismatch_rejected(self, graph_file, tmp_path):
+        path, _ = graph_file
+        short = tmp_path / "short.txt"
+        short.write_text("0\n1\n")
+        with pytest.raises(SystemExit):
+            main(["evaluate", str(path), str(short)])
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("suffix", [".hgr", ".tsv", ".npz"])
+    def test_generate_formats(self, tmp_path, suffix, capsys):
+        out = tmp_path / f"g{suffix}"
+        rc = main(["generate", "email-Enron", "--scale", "0.01", "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+
+    def test_generated_file_loads_back(self, tmp_path, capsys):
+        out = tmp_path / "g.hgr"
+        main(["generate", "soc-Epinions", "--scale", "0.01", "-o", str(out)])
+        capsys.readouterr()
+        rc = main(["partition", str(out), "-k", "2"])
+        assert rc == 0
+
+
+class TestDatasetsCommand:
+    def test_lists_registry(self, capsys):
+        rc = main(["datasets"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FB-10B" in out and "email-Enron" in out
+
+
+class TestCompareCommand:
+    def test_compare_default_set(self, graph_file, capsys):
+        path, _ = graph_file
+        rc = main(["compare", str(path), "-k", "4", "--algorithms", "random", "shp-2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shp-2" in out and "random" in out
+
+    def test_compare_ranks_by_fanout(self, graph_file, capsys):
+        path, _ = graph_file
+        main(["compare", str(path), "-k", "4", "--algorithms", "random", "shp-2"])
+        out = capsys.readouterr().out
+        data_rows = [l for l in out.splitlines() if "|" in l][1:]  # skip header
+        assert "shp-2" in data_rows[0]  # optimized result listed first

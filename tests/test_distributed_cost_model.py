@@ -1,0 +1,94 @@
+"""Tests for the cluster cost model and metrics aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import ClusterSpec, CostModel, MachineSpec, PAPER_MACHINE
+from repro.distributed.metrics import JobMetrics, SuperstepMetrics
+
+
+class TestMachineAndCluster:
+    def test_paper_machine_memory(self):
+        assert PAPER_MACHINE.memory_gb == 144.0
+
+    def test_cluster_total_memory(self):
+        cluster = ClusterSpec(num_workers=4)
+        assert cluster.total_memory_bytes == 4 * PAPER_MACHINE.memory_bytes
+
+    def test_custom_machine(self):
+        small = MachineSpec(memory_bytes=8 * 1024**3, cores=4)
+        assert small.memory_gb == 8.0
+
+
+class TestCostModel:
+    def test_superstep_components_additive(self):
+        model = CostModel(
+            sec_per_op=1.0, sec_per_message=10.0, bytes_per_sec=1.0, barrier_sec=100.0
+        )
+        assert model.superstep_seconds(1, 1, 1) == pytest.approx(1 + 10 + 1 + 100)
+
+    def test_zero_work_costs_barrier(self):
+        model = CostModel(barrier_sec=0.5)
+        assert model.superstep_seconds(0, 0, 0) == pytest.approx(0.5)
+
+
+def _step(superstep, ops, msgs, byts, phase="p"):
+    return SuperstepMetrics(
+        superstep=superstep,
+        phase=phase,
+        ops_per_worker=np.array([ops, ops / 2]),
+        messages_per_worker=np.array([msgs, msgs / 2]),
+        remote_bytes_per_worker=np.array([byts, byts / 2]),
+        messages_local=int(msgs - msgs // 2),
+        messages_remote=int(msgs // 2),
+        bytes_local=int(byts // 2),
+        bytes_remote=int(byts // 2),
+        memory_per_worker=np.array([1000.0, 2000.0]),
+    )
+
+
+class TestMetricsAggregation:
+    def test_modeled_seconds_uses_max_worker(self):
+        model = CostModel(sec_per_op=1.0, sec_per_message=0.0,
+                          bytes_per_sec=1e30, barrier_sec=0.0)
+        metrics = JobMetrics(cluster=ClusterSpec(num_workers=2))
+        metrics.add(_step(0, ops=10, msgs=0, byts=0))
+        # max worker ops = 10 (not the mean 7.5)
+        assert metrics.modeled_seconds(model) == pytest.approx(10.0)
+
+    def test_total_machine_seconds(self):
+        model = CostModel()
+        metrics = JobMetrics(cluster=ClusterSpec(num_workers=8))
+        metrics.add(_step(0, 100, 100, 100))
+        assert metrics.modeled_total_machine_seconds(model) == pytest.approx(
+            8 * metrics.modeled_seconds(model)
+        )
+
+    def test_peak_memory(self):
+        metrics = JobMetrics(cluster=ClusterSpec(num_workers=2))
+        metrics.add(_step(0, 1, 1, 1))
+        assert metrics.peak_worker_memory() == 2000.0
+
+    def test_by_phase_accumulates(self):
+        metrics = JobMetrics(cluster=ClusterSpec(num_workers=2))
+        metrics.add(_step(0, 1, 10, 1, phase="a"))
+        metrics.add(_step(1, 1, 20, 1, phase="a"))
+        metrics.add(_step(2, 1, 5, 1, phase="b"))
+        grouped = metrics.by_phase()
+        assert grouped["a"]["messages"] == 30
+        assert grouped["a"]["count"] == 2
+        assert grouped["b"]["messages"] == 5
+
+    def test_totals(self):
+        metrics = JobMetrics(cluster=ClusterSpec(num_workers=2))
+        metrics.add(_step(0, 1, 10, 100))
+        assert metrics.total_messages == 10
+        assert metrics.total_remote_bytes == 50
+        assert metrics.num_supersteps == 1
+
+    def test_empty_job(self):
+        metrics = JobMetrics(cluster=ClusterSpec(num_workers=2))
+        assert metrics.peak_worker_memory() == 0.0
+        assert metrics.modeled_seconds(CostModel()) == 0.0

@@ -1,0 +1,208 @@
+"""Tests for the Giraph-like vertex-centric engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    ClusterSpec,
+    CostModel,
+    GiraphEngine,
+    SumCombiner,
+    sizeof_payload,
+)
+
+
+class EchoProgram:
+    """Each vertex forwards received values to its neighbors; seeds once."""
+
+    def __init__(self, adjacency):
+        self.adjacency = adjacency
+
+    def phase_name(self, superstep):
+        return f"step{superstep}"
+
+    def compute(self, ctx, vid, state, messages):
+        if ctx.superstep == 0:
+            state["received"] = []
+            for neighbor in self.adjacency.get(vid, []):
+                ctx.send(neighbor, vid)
+        else:
+            state["received"].extend(messages)
+
+
+class CountingMaster:
+    def __init__(self, stop_at):
+        self.stop_at = stop_at
+        self.calls = 0
+
+    def compute(self, superstep, aggregates):
+        self.calls += 1
+        if superstep >= self.stop_at:
+            return None
+        return {"superstep": superstep}
+
+
+class TestMessaging:
+    def test_messages_delivered_next_superstep(self):
+        adjacency = {0: [1], 1: [2], 2: [0]}
+        engine = GiraphEngine(ClusterSpec(num_workers=2), seed=1)
+        engine.load({v: {} for v in range(3)})
+        result = engine.run(EchoProgram(adjacency), max_supersteps=2)
+        assert result.states[1]["received"] == [0]
+        assert result.states[2]["received"] == [1]
+        assert result.states[0]["received"] == [2]
+
+    def test_local_vs_remote_metering(self):
+        adjacency = {i: [(i + 1) % 8] for i in range(8)}
+        engine = GiraphEngine(ClusterSpec(num_workers=4), seed=3)
+        engine.load({v: {} for v in range(8)})
+        result = engine.run(EchoProgram(adjacency), max_supersteps=1)
+        step = result.metrics.supersteps[0]
+        assert step.messages_local + step.messages_remote == 8
+        assert step.messages_remote > 0  # 4 workers: some edges cross
+
+    def test_single_worker_all_local(self):
+        adjacency = {i: [(i + 1) % 5] for i in range(5)}
+        engine = GiraphEngine(ClusterSpec(num_workers=1), seed=3)
+        engine.load({v: {} for v in range(5)})
+        result = engine.run(EchoProgram(adjacency), max_supersteps=1)
+        step = result.metrics.supersteps[0]
+        assert step.messages_remote == 0
+        assert step.messages_local == 5
+
+    def test_deterministic_given_seed(self):
+        adjacency = {i: [(i * 3 + 1) % 10] for i in range(10)}
+
+        def run_once():
+            engine = GiraphEngine(ClusterSpec(num_workers=3), seed=5)
+            engine.load({v: {} for v in range(10)})
+            result = engine.run(EchoProgram(adjacency), max_supersteps=2)
+            return [tuple(result.states[v]["received"]) for v in range(10)]
+
+        assert run_once() == run_once()
+
+
+class TestMaster:
+    def test_master_halts_engine(self):
+        engine = GiraphEngine(ClusterSpec(num_workers=1), seed=0)
+        engine.load({0: {}})
+        master = CountingMaster(stop_at=3)
+        result = engine.run(EchoProgram({}), master=master, max_supersteps=100)
+        assert result.halted_by_master
+        assert result.supersteps_run == 3
+
+    def test_aggregates_reach_master(self):
+        class AggProgram:
+            def phase_name(self, superstep):
+                return "agg"
+
+            def compute(self, ctx, vid, state, messages):
+                ctx.aggregate("total", "sum", float(vid))
+
+        class Recorder:
+            def __init__(self):
+                self.seen = []
+
+            def compute(self, superstep, aggregates):
+                self.seen.append(dict(aggregates.get("total", {})))
+                if superstep >= 2:
+                    return None
+                return {}
+
+        engine = GiraphEngine(ClusterSpec(num_workers=2), seed=0)
+        engine.load({v: {} for v in range(4)})
+        recorder = Recorder()
+        engine.run(AggProgram(), master=recorder, max_supersteps=10)
+        # Aggregates from superstep 0 are visible at superstep 1's master call.
+        assert recorder.seen[1] == {"sum": 6.0}
+
+    def test_broadcasts_reach_vertices(self):
+        class BroadcastReader:
+            def phase_name(self, superstep):
+                return "read"
+
+            def compute(self, ctx, vid, state, messages):
+                state.setdefault("seen", []).append(ctx.broadcasts.get("value"))
+
+        class Broadcaster:
+            def compute(self, superstep, aggregates):
+                if superstep >= 2:
+                    return None
+                return {"value": superstep * 10}
+
+        engine = GiraphEngine(ClusterSpec(num_workers=1), seed=0)
+        engine.load({0: {}})
+        result = engine.run(BroadcastReader(), master=Broadcaster(), max_supersteps=10)
+        assert result.states[0]["seen"] == [0, 10]
+
+
+class TestCombiner:
+    def test_sum_combiner_reduces_messages(self):
+        class FanIn:
+            def phase_name(self, superstep):
+                return "fanin"
+
+            def compute(self, ctx, vid, state, messages):
+                if ctx.superstep == 0 and vid != 0:
+                    ctx.send(0, 1.0)
+                elif messages:
+                    state["total"] = sum(messages)
+
+        def run(combiner):
+            engine = GiraphEngine(ClusterSpec(num_workers=2), seed=1)
+            engine.load({v: {} for v in range(9)})
+            result = engine.run(FanIn(), max_supersteps=2, combiner=combiner)
+            return result
+
+        plain = run(None)
+        combined = run(SumCombiner())
+        assert plain.states[0]["total"] == combined.states[0]["total"] == 8.0
+        assert (
+            combined.metrics.supersteps[0].total_messages
+            < plain.metrics.supersteps[0].total_messages
+        )
+
+
+class TestAccounting:
+    def test_memory_tracked(self):
+        engine = GiraphEngine(ClusterSpec(num_workers=2), seed=1)
+        engine.load({v: {"blob": np.zeros(100)} for v in range(4)})
+        result = engine.run(EchoProgram({}), max_supersteps=1)
+        assert result.metrics.peak_worker_memory() >= 800  # at least one blob
+
+    def test_modeled_time_positive(self):
+        adjacency = {i: [(i + 1) % 6] for i in range(6)}
+        engine = GiraphEngine(ClusterSpec(num_workers=2), seed=1)
+        engine.load({v: {} for v in range(6)})
+        result = engine.run(EchoProgram(adjacency), max_supersteps=2)
+        assert result.metrics.modeled_seconds(CostModel()) > 0
+        assert result.metrics.modeled_total_machine_seconds(CostModel()) == (
+            pytest.approx(2 * result.metrics.modeled_seconds(CostModel()))
+        )
+
+    def test_phase_grouping(self):
+        engine = GiraphEngine(ClusterSpec(num_workers=1), seed=1)
+        engine.load({0: {}})
+        result = engine.run(EchoProgram({}), max_supersteps=3)
+        assert set(result.metrics.by_phase()) == {"step0", "step1", "step2"}
+
+
+class TestSizeof:
+    @pytest.mark.parametrize(
+        "payload,expected",
+        [
+            (None, 1),
+            (5, 8),
+            (3.14, 8),
+            ((1, 2), 8 + 16),
+            ({"a": 1}, 8 + 1 + 8),
+            ("abc", 3),
+        ],
+    )
+    def test_sizes(self, payload, expected):
+        assert sizeof_payload(payload) == expected
+
+    def test_ndarray_size(self):
+        assert sizeof_payload(np.zeros(10, dtype=np.float64)) == 80

@@ -1,0 +1,67 @@
+"""Monte-Carlo validation of p-fanout's random-ensemble interpretation.
+
+Section 3.1: "probabilistic fanout is precisely the expectation of fanout
+across this random graph ensemble" — the ensemble being the input graph
+with every edge kept independently with probability p.  We verify the
+identity empirically: averaging plain fanout over many sampled subgraphs
+converges to the closed-form p-fanout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import community_bipartite
+from repro.objectives import average_pfanout, bucket_counts
+
+
+@pytest.mark.parametrize("p", [0.3, 0.5, 0.8])
+def test_pfanout_equals_expected_subsampled_fanout(p):
+    graph = community_bipartite(150, 200, 1500, num_communities=8, seed=5)
+    rng = np.random.default_rng(9)
+    k = 4
+    assignment = rng.integers(0, k, graph.num_data).astype(np.int32)
+
+    closed_form = average_pfanout(graph, assignment, k, p=p)
+
+    # Empirical expectation: per-query fanout of independently thinned
+    # graphs, averaged over trials.  Queries keep their identity (a query
+    # losing all edges has fanout 0, matching Σ_i (1 - (1-p)^0) = 0).
+    trials = 400
+    total = 0.0
+    for t in range(trials):
+        sub = graph.edge_subsample(p, seed=1000 + t)
+        counts = bucket_counts(sub, assignment, k)
+        total += float((counts > 0).sum()) / graph.num_queries
+    empirical = total / trials
+
+    # Monte-Carlo error ~ 1/sqrt(trials · |Q|); 1% tolerance is generous.
+    assert empirical == pytest.approx(closed_form, rel=0.01)
+
+
+def test_pfanout_robustness_story():
+    """The smoothing argument: the p-fanout ranking of two partitions agrees
+    with the mean subsampled-fanout ranking (optimizing p-fanout optimizes
+    robust performance across the ensemble)."""
+    graph = community_bipartite(150, 200, 1500, num_communities=8, seed=6)
+    rng = np.random.default_rng(10)
+    k = 4
+    a = rng.integers(0, k, graph.num_data).astype(np.int32)
+    from repro import shp_k
+
+    b = shp_k(graph, k, seed=1).assignment
+
+    def empirical(assignment):
+        total = 0.0
+        for t in range(100):
+            sub = graph.edge_subsample(0.5, seed=2000 + t)
+            counts = bucket_counts(sub, assignment, k)
+            total += float((counts > 0).sum()) / graph.num_queries
+        return total / 100
+
+    pf_a = average_pfanout(graph, a, k, p=0.5)
+    pf_b = average_pfanout(graph, b, k, p=0.5)
+    emp_a = empirical(a)
+    emp_b = empirical(b)
+    assert (pf_a < pf_b) == (emp_a < emp_b)

@@ -1,0 +1,115 @@
+"""Tests for partition quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.objectives import (
+    average_fanout,
+    average_pfanout,
+    bucket_counts,
+    evaluate_partition,
+    hyperedge_cut,
+    imbalance,
+    soed,
+    weighted_edge_cut,
+)
+
+
+@pytest.fixture
+def figure1_setup(tiny_graph):
+    """The paper's Figure 1 example with V1={0,1,2}, V2={3,4,5}."""
+    assignment = np.array([0, 0, 0, 1, 1, 1], dtype=np.int32)
+    return tiny_graph, assignment
+
+
+class TestBucketCounts:
+    def test_figure1_counts(self, figure1_setup):
+        graph, assignment = figure1_setup
+        counts = bucket_counts(graph, assignment, 2)
+        # q0={0,1,5}: 2 left 1 right; q1={0,1,2,3}: 3/1; q2={3,4,5}: 0/3
+        assert counts.tolist() == [[2, 1], [3, 1], [0, 3]]
+
+    def test_counts_sum_to_degree(self, medium_graph, rng):
+        assignment = rng.integers(0, 5, medium_graph.num_data).astype(np.int32)
+        counts = bucket_counts(medium_graph, assignment, 5)
+        assert np.array_equal(counts.sum(axis=1), medium_graph.query_degrees)
+
+    def test_wrong_length_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            bucket_counts(tiny_graph, np.zeros(3, dtype=np.int32), 2)
+
+
+class TestMetrics:
+    def test_figure1_fanout(self, figure1_setup):
+        graph, assignment = figure1_setup
+        # Paper: fanouts are 2, 2, 1 -> average 5/3.
+        assert np.isclose(average_fanout(graph, assignment, 2), 5 / 3)
+
+    def test_pfanout_leq_fanout(self, figure1_setup):
+        graph, assignment = figure1_setup
+        assert average_pfanout(graph, assignment, 2, p=0.5) <= average_fanout(
+            graph, assignment, 2
+        )
+
+    def test_pfanout_p1_equals_fanout(self, figure1_setup):
+        graph, assignment = figure1_setup
+        assert np.isclose(
+            average_pfanout(graph, assignment, 2, p=1.0),
+            average_fanout(graph, assignment, 2),
+        )
+
+    def test_soed_is_fanout_plus_cut(self, figure1_setup):
+        graph, assignment = figure1_setup
+        total = soed(graph, assignment, 2)
+        assert np.isclose(
+            total,
+            average_fanout(graph, assignment, 2) + hyperedge_cut(graph, assignment, 2),
+        )
+
+    def test_hyperedge_cut_figure1(self, figure1_setup):
+        graph, assignment = figure1_setup
+        assert np.isclose(hyperedge_cut(graph, assignment, 2), 2 / 3)
+
+    def test_weighted_edge_cut_single_bucket_zero(self, tiny_graph):
+        assignment = np.zeros(6, dtype=np.int32)
+        assert weighted_edge_cut(tiny_graph, assignment, 2) == 0.0
+
+    def test_weighted_edge_cut_hand_example(self):
+        from repro.hypergraph import BipartiteGraph
+
+        g = BipartiteGraph.from_hyperedges([[0, 1, 2]], num_data=3)
+        # split 2|1: pairs cut = 2 (0-2 and 1-2 across, 0-1 within)
+        assignment = np.array([0, 0, 1], dtype=np.int32)
+        assert weighted_edge_cut(g, assignment, 2) == 2.0
+
+    def test_imbalance_perfect(self):
+        assert imbalance(np.array([0, 0, 1, 1]), 2) == 0.0
+
+    def test_imbalance_skewed(self):
+        # sizes 3 and 1 -> max/mean - 1 = 3/2 - 1 = 0.5
+        assert np.isclose(imbalance(np.array([0, 0, 0, 1]), 2), 0.5)
+
+    def test_imbalance_weighted(self):
+        value = imbalance(np.array([0, 1]), 2, weights=np.array([3.0, 1.0]))
+        assert np.isclose(value, 0.5)
+
+    def test_empty_graph_metrics(self):
+        from repro.hypergraph import BipartiteGraph
+
+        g = BipartiteGraph.from_hyperedges([], num_data=4)
+        assignment = np.zeros(4, dtype=np.int32)
+        assert average_fanout(g, assignment, 2) == 0.0
+        assert soed(g, assignment, 2) == 0.0
+
+
+class TestEvaluatePartition:
+    def test_row_contains_all_metrics(self, figure1_setup):
+        graph, assignment = figure1_setup
+        quality = evaluate_partition(graph, assignment, 2)
+        row = quality.row()
+        for key in ("k", "fanout", "p-fanout(0.5)", "SOED", "cut", "edge-cut", "imbalance"):
+            assert key in row
+        assert row["k"] == 2
+        assert np.isclose(quality.fanout, 5 / 3)

@@ -1,0 +1,168 @@
+"""Property-based tests: move gains must equal brute-force objective deltas.
+
+This is the central correctness property of the whole system (DESIGN.md
+Section 8): for every objective and every single-vertex move, the
+vectorized gain (Eq. 1 generalized) must match recomputing the objective
+from scratch before and after the move.  Lemmas 1 and 2 are verified
+numerically as limit statements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import move_gains_dense
+from repro.hypergraph import BipartiteGraph
+from repro.objectives import (
+    CliqueNetObjective,
+    FanoutObjective,
+    PFanoutObjective,
+    ScaledPFanout,
+    bucket_counts,
+)
+
+
+@st.composite
+def small_instance(draw):
+    """Random bipartite graph + assignment + k."""
+    num_data = draw(st.integers(min_value=2, max_value=9))
+    num_queries = draw(st.integers(min_value=1, max_value=7))
+    k = draw(st.integers(min_value=2, max_value=4))
+    max_edges = num_data * num_queries
+    num_edges = draw(st.integers(min_value=1, max_value=min(20, max_edges)))
+    qs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_queries - 1),
+            min_size=num_edges, max_size=num_edges,
+        )
+    )
+    ds = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_data - 1),
+            min_size=num_edges, max_size=num_edges,
+        )
+    )
+    graph = BipartiteGraph.from_edges(qs, ds, num_queries=num_queries, num_data=num_data)
+    assignment = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=k - 1),
+                min_size=num_data, max_size=num_data,
+            )
+        ),
+        dtype=np.int32,
+    )
+    return graph, assignment, k
+
+
+def total_objective(graph, assignment, k, objective) -> float:
+    """Unnormalized objective: Σ_q Σ_i f(n_i(q))."""
+    counts = bucket_counts(graph, assignment, k)
+    return float(objective.contribution(counts).sum())
+
+
+def assert_gains_match_bruteforce(graph, assignment, k, objective, atol=1e-9):
+    counts = bucket_counts(graph, assignment, k)
+    gains = move_gains_dense(graph, assignment, counts, objective)
+    before = total_objective(graph, assignment, k, objective)
+    for v in range(graph.num_data):
+        for j in range(k):
+            if j == assignment[v]:
+                continue
+            moved = assignment.copy()
+            moved[v] = j
+            after = total_objective(graph, moved, k, objective)
+            # gain is the objective *reduction* (positive = improvement)
+            assert abs(gains[v, j] - (before - after)) < atol, (
+                f"v={v} j={j}: gain={gains[v, j]} brute={before - after}"
+            )
+
+
+class TestGainCorrectness:
+    @settings(max_examples=60, deadline=None)
+    @given(small_instance(), st.sampled_from([0.1, 0.3, 0.5, 0.8, 0.99]))
+    def test_pfanout_gains(self, instance, p):
+        graph, assignment, k = instance
+        assert_gains_match_bruteforce(graph, assignment, k, PFanoutObjective(p))
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_instance())
+    def test_fanout_gains_exact(self, instance):
+        graph, assignment, k = instance
+        assert_gains_match_bruteforce(graph, assignment, k, FanoutObjective())
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_instance())
+    def test_cliquenet_gains(self, instance):
+        graph, assignment, k = instance
+        assert_gains_match_bruteforce(graph, assignment, k, CliqueNetObjective())
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_instance(), st.integers(min_value=2, max_value=6))
+    def test_scaled_pfanout_gains(self, instance, splits):
+        graph, assignment, k = instance
+        objective = ScaledPFanout(0.5, splits_ahead=splits)
+        assert_gains_match_bruteforce(graph, assignment, k, objective)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_instance())
+    def test_scaled_pfanout_per_bucket_gains(self, instance):
+        graph, assignment, k = instance
+        splits = np.arange(1, k + 1, dtype=np.float64)
+        objective = ScaledPFanout(0.5, splits_ahead=splits)
+        assert_gains_match_bruteforce(graph, assignment, k, objective)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_instance())
+    def test_self_gain_zero(self, instance):
+        graph, assignment, k = instance
+        counts = bucket_counts(graph, assignment, k)
+        gains = move_gains_dense(graph, assignment, counts, PFanoutObjective(0.5))
+        own = gains[np.arange(graph.num_data), assignment]
+        assert np.allclose(own, 0.0)
+
+
+class TestLemma1:
+    """p → 1: p-fanout converges to plain fanout."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_instance())
+    def test_values_converge(self, instance):
+        graph, assignment, k = instance
+        fanout_val = total_objective(graph, assignment, k, FanoutObjective())
+        near_one = total_objective(graph, assignment, k, PFanoutObjective(1 - 1e-9))
+        assert abs(fanout_val - near_one) < 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_instance())
+    def test_ranking_converges(self, instance):
+        """Partitions strictly better under fanout stay better under p≈1."""
+        graph, assignment, k = instance
+        rng = np.random.default_rng(0)
+        other = rng.integers(0, k, graph.num_data).astype(np.int32)
+        f_a = total_objective(graph, assignment, k, FanoutObjective())
+        f_b = total_objective(graph, other, k, FanoutObjective())
+        p_a = total_objective(graph, assignment, k, PFanoutObjective(1 - 1e-9))
+        p_b = total_objective(graph, other, k, PFanoutObjective(1 - 1e-9))
+        if f_a < f_b:
+            assert p_a < p_b
+        elif f_b < f_a:
+            assert p_b < p_a
+
+
+class TestLemma2:
+    """p → 0: p-fanout gains are p² times the clique-net gains."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_instance())
+    def test_gain_proportionality(self, instance):
+        graph, assignment, k = instance
+        p = 1e-4
+        counts = bucket_counts(graph, assignment, k)
+        pf_gains = move_gains_dense(graph, assignment, counts, PFanoutObjective(p))
+        cn_gains = move_gains_dense(graph, assignment, counts, CliqueNetObjective())
+        # gain_pf = p² gain_cn + O(p³ · degree³)
+        scaled = pf_gains / p**2
+        assert np.allclose(scaled, cn_gains, atol=0.05)

@@ -1,0 +1,77 @@
+"""Tests for exponential gain binning."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GainBinning
+
+
+class TestBinOf:
+    def test_zero_bin(self):
+        binning = GainBinning(num_bins=10, min_gain=1e-6)
+        bins = binning.bin_of(np.array([0.0, 1e-7, -1e-7]))
+        assert bins.tolist() == [0, 0, 0]
+
+    def test_sign_symmetry(self):
+        binning = GainBinning(num_bins=10, min_gain=1e-6)
+        gains = np.array([0.5, 0.001, 3.0])
+        assert np.array_equal(binning.bin_of(gains), -binning.bin_of(-gains))
+
+    def test_monotone_in_gain(self):
+        binning = GainBinning(num_bins=20, min_gain=1e-6)
+        gains = np.sort(np.array([1e-5, 1e-3, 0.1, 0.5, 2.0, 100.0]))
+        bins = binning.bin_of(gains)
+        assert np.all(np.diff(bins) >= 0)
+
+    def test_clipping_at_top(self):
+        binning = GainBinning(num_bins=4, min_gain=1.0)
+        assert binning.bin_of(np.array([1e12]))[0] == 4
+
+    def test_first_bin_boundary(self):
+        binning = GainBinning(num_bins=10, min_gain=1e-6)
+        # exactly min_gain lands in bin 1; just below in bin 0
+        assert binning.bin_of(np.array([1e-6]))[0] == 1
+        assert binning.bin_of(np.array([0.99e-6]))[0] == 0
+
+
+class TestRepresentative:
+    def test_zero_bin_representative(self):
+        binning = GainBinning()
+        assert binning.representative(np.array([0]))[0] == 0.0
+
+    def test_midpoint_in_range(self):
+        binning = GainBinning(num_bins=30, min_gain=1e-6)
+        for b in [1, 2, 5, 10]:
+            rep = binning.representative(np.array([b]))[0]
+            lower = 1e-6 * 2.0 ** (b - 1)
+            assert lower <= rep < 2 * lower
+
+    def test_negative_mirror(self):
+        binning = GainBinning()
+        bins = np.array([3, -3])
+        reps = binning.representative(bins)
+        assert reps[0] == -reps[1]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=1e-6, max_value=1e6, allow_nan=False))
+    def test_gain_within_its_bin_range(self, gain):
+        binning = GainBinning(num_bins=64, min_gain=1e-7)
+        b = int(binning.bin_of(np.array([gain]))[0])
+        assert b >= 1
+        lower = float(binning.lower_bound(np.array([b]))[0])
+        assert lower <= gain or np.isclose(lower, gain, rtol=1e-9)
+        if b < 64:  # not clipped
+            assert gain < 2 * lower * (1 + 1e-12)
+
+
+class TestKeys:
+    def test_key_round_trip(self):
+        binning = GainBinning(num_bins=12)
+        bins = np.array([-12, -1, 0, 1, 12])
+        keys = binning.bin_key(bins)
+        assert keys.min() >= 0
+        assert keys.max() < binning.num_bin_ids
+        assert np.array_equal(binning.key_to_bin(keys), bins)

@@ -1,0 +1,49 @@
+"""Tests for the Hypergraph facade over BipartiteGraph."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hypergraph import BipartiteGraph, Hypergraph
+
+
+class TestHypergraphFacade:
+    def test_from_hyperedges(self):
+        hg = Hypergraph.from_hyperedges([[0, 1, 2], [2, 3]], num_vertices=5, name="hg")
+        assert hg.num_vertices == 5
+        assert hg.num_hyperedges == 2
+        assert hg.num_pins == 5
+        assert hg.name == "hg"
+
+    def test_hyperedge_access(self):
+        hg = Hypergraph.from_hyperedges([[0, 1], [1, 2, 3]], num_vertices=4)
+        assert sorted(hg.hyperedge(1).tolist()) == [1, 2, 3]
+        assert [sorted(e.tolist()) for e in hg.hyperedges()] == [[0, 1], [1, 2, 3]]
+
+    def test_vertex_hyperedges(self):
+        hg = Hypergraph.from_hyperedges([[0, 1], [1, 2]], num_vertices=3)
+        assert sorted(hg.vertex_hyperedges(1).tolist()) == [0, 1]
+
+    def test_sizes_and_degrees(self):
+        hg = Hypergraph.from_hyperedges([[0, 1, 2], [0, 1]], num_vertices=3)
+        assert hg.hyperedge_sizes().tolist() == [3, 2]
+        assert hg.vertex_degrees().tolist() == [2, 2, 1]
+
+    def test_weights_pass_through(self):
+        w = np.array([1.0, 2.0, 3.0])
+        hg = Hypergraph.from_hyperedges([[0, 1], [1, 2]], num_vertices=3, vertex_weights=w)
+        assert np.array_equal(hg.bipartite.data_weights, w)
+
+    def test_validate_delegates(self, tiny_graph):
+        Hypergraph(tiny_graph).validate()
+
+    def test_partitioners_accept_underlying_graph(self):
+        """The hypergraph view plugs straight into the partitioning API."""
+        from repro import shp_2
+        from repro.objectives import average_fanout
+
+        hg = Hypergraph.from_hyperedges(
+            [[i, i + 1, i + 2] for i in range(0, 60, 3)], num_vertices=62
+        )
+        result = shp_2(hg.bipartite, 2, seed=1)
+        assert average_fanout(hg.bipartite, result.assignment, 2) >= 1.0

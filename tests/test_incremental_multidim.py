@@ -1,0 +1,132 @@
+"""Tests for the Section 5 extensions: incremental updates, multi-dim balance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SHPConfig, incremental_update, partition_multidim, shp_2
+from repro.core import churn, merge_buckets_balanced
+from repro.hypergraph import community_bipartite
+from repro.objectives import average_fanout, imbalance
+
+
+class TestChurn:
+    def test_identical_zero(self):
+        a = np.array([0, 1, 2])
+        assert churn(a, a.copy()) == 0.0
+
+    def test_all_different(self):
+        assert churn(np.array([0, 0]), np.array([1, 1])) == 1.0
+
+    def test_empty(self):
+        assert churn(np.array([]), np.array([])) == 0.0
+
+
+class TestIncrementalUpdate:
+    @pytest.fixture
+    def evolved_setup(self):
+        """A graph, its partition, and a slightly evolved graph."""
+        old_graph = community_bipartite(600, 900, 6000, mixing=0.2, seed=10)
+        new_graph = community_bipartite(600, 900, 6000, mixing=0.2, seed=10)
+        # Evolve: rewire by adding a different-seed overlay of extra queries.
+        overlay = community_bipartite(60, 900, 600, mixing=0.5, seed=99)
+        from repro.hypergraph import BipartiteGraph
+
+        q = np.concatenate([new_graph.q_of_edge, overlay.q_of_edge + new_graph.num_queries])
+        d = np.concatenate([new_graph.q_indices, overlay.q_indices])
+        evolved = BipartiteGraph.from_edges(
+            q, d, num_queries=new_graph.num_queries + overlay.num_queries,
+            num_data=900, dedupe=False,
+        )
+        previous = shp_2(old_graph, 8, seed=1).assignment
+        return evolved, previous
+
+    def test_penalty_reduces_churn(self, evolved_setup):
+        evolved, previous = evolved_setup
+        free = incremental_update(
+            evolved, previous, SHPConfig(k=8, seed=2, max_iterations=10)
+        )
+        taxed = incremental_update(
+            evolved, previous,
+            SHPConfig(k=8, seed=2, max_iterations=10, move_penalty=0.2),
+        )
+        assert taxed.churn <= free.churn
+
+    def test_quality_stays_reasonable(self, evolved_setup):
+        evolved, previous = evolved_setup
+        outcome = incremental_update(
+            evolved, previous,
+            SHPConfig(k=8, seed=2, max_iterations=10, move_penalty=0.1),
+        )
+        f_prev = average_fanout(evolved, previous, 8)
+        f_new = average_fanout(evolved, outcome.result.assignment, 8)
+        assert f_new <= f_prev + 1e-9
+
+    def test_method_2_works(self, evolved_setup):
+        evolved, previous = evolved_setup
+        outcome = incremental_update(
+            evolved, previous,
+            SHPConfig(k=8, seed=2, iterations_per_bisection=5), method="2",
+        )
+        assert outcome.result.assignment.size == evolved.num_data
+
+    def test_bad_method_rejected(self, evolved_setup):
+        evolved, previous = evolved_setup
+        with pytest.raises(ValueError):
+            incremental_update(evolved, previous, SHPConfig(k=8), method="x")
+
+
+class TestMergeBucketsBalanced:
+    def test_group_count(self):
+        loads = np.abs(np.random.default_rng(0).normal(1, 0.2, size=(16, 3)))
+        groups = merge_buckets_balanced(loads, 4)
+        assert np.unique(groups).size == 4
+        counts = np.bincount(groups, minlength=4)
+        assert counts.max() <= int(np.ceil(16 / 4))
+
+    def test_single_dim_lpt_quality(self):
+        loads = np.array([[8.0], [7.0], [6.0], [5.0], [4.0], [3.0], [2.0], [1.0]])
+        groups = merge_buckets_balanced(loads, 2)
+        totals = np.zeros(2)
+        for fine, g in enumerate(groups):
+            totals[g] += loads[fine, 0]
+        assert abs(totals[0] - totals[1]) <= 2.0  # LPT near-balance
+
+    def test_too_few_fine_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            merge_buckets_balanced(np.ones((3, 1)), 4)
+
+
+class TestPartitionMultidim:
+    def test_balances_secondary_dimension(self, medium_graph):
+        rng = np.random.default_rng(5)
+        weights = np.stack(
+            [np.ones(medium_graph.num_data), rng.exponential(1.0, medium_graph.num_data)],
+            axis=1,
+        )
+        outcome = partition_multidim(
+            medium_graph, weights, k=4, c=4,
+            config=SHPConfig(k=16, seed=1, iterations_per_bisection=8),
+        )
+        assert outcome.result.k == 4
+        assert np.unique(outcome.result.assignment).size == 4
+        # Secondary dimension balanced within a loose factor by the merge.
+        assert outcome.dimension_imbalance[1] < 0.5
+
+    def test_merge_preserves_fine_structure(self, medium_graph):
+        weights = np.ones((medium_graph.num_data, 1))
+        outcome = partition_multidim(
+            medium_graph, weights, k=4, c=2,
+            config=SHPConfig(k=8, seed=1, iterations_per_bisection=8),
+        )
+        # Every coarse bucket is a union of whole fine buckets.
+        for fine in range(8):
+            members = outcome.fine_assignment == fine
+            if members.any():
+                coarse = np.unique(outcome.result.assignment[members])
+                assert coarse.size == 1
+
+    def test_invalid_c_rejected(self, medium_graph):
+        with pytest.raises(ValueError):
+            partition_multidim(medium_graph, np.ones(medium_graph.num_data), k=4, c=0)

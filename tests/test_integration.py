@@ -1,0 +1,81 @@
+"""End-to-end integration tests across subsystems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SHPConfig, evaluate_partition, shp_2, shp_k
+from repro.baselines import get_partitioner
+from repro.distributed_shp import DistributedSHP
+from repro.hypergraph import load_dataset
+from repro.objectives import average_fanout, imbalance
+from repro.sharding import LatencyModel, replay_traffic
+from repro.workloads import sample_queries
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("email-Enron", scale=0.03, seed=7)
+
+
+class TestFullPipeline:
+    def test_dataset_to_sharding(self, dataset):
+        """Dataset -> partition -> evaluate -> shard -> replay."""
+        result = shp_2(dataset, 16, seed=1)
+        quality = evaluate_partition(dataset, result.assignment, 16)
+        assert quality.imbalance <= 0.05 + 1e-9
+
+        trace = sample_queries(dataset, 500, seed=2)
+        replay = replay_traffic(
+            dataset, result.assignment, 16, trace, LatencyModel(sigma=0.8), seed=3
+        )
+        assert 1.0 <= replay.mean_fanout() <= 16.0
+        # Sharding by the optimized partition beats random on the same trace.
+        random = get_partitioner("random")(dataset, k=16, seed=1)
+        replay_rnd = replay_traffic(
+            dataset, random.assignment, 16, trace, LatencyModel(sigma=0.8), seed=3
+        )
+        assert replay.mean_fanout() < replay_rnd.mean_fanout()
+
+    def test_all_partitioners_comparable_interface(self, dataset):
+        """The quality-comparison loop of the Table 2 bench, in miniature."""
+        rows = {}
+        for name in ("random", "label-prop", "shp-2", "mondriaan-like"):
+            result = get_partitioner(name)(dataset, k=8, epsilon=0.05, seed=1)
+            rows[name] = average_fanout(dataset, result.assignment, 8)
+        assert rows["shp-2"] < rows["random"]
+        assert rows["mondriaan-like"] < rows["random"]
+
+    def test_distributed_matches_inprocess_quality(self):
+        """The vertex-centric job optimizes about as well as the in-process
+        optimizer on the same graph (same algorithm, different substrate)."""
+        from repro.hypergraph import community_bipartite
+
+        graph = community_bipartite(300, 400, 2600, num_communities=12, mixing=0.2, seed=3)
+        config = SHPConfig(k=8, seed=5, iterations_per_bisection=10, swap_mode="bernoulli")
+        dist = DistributedSHP(config, mode="2").run(graph)
+        local = shp_2(graph, 8, seed=5)
+        f_dist = average_fanout(graph, dist.assignment, 8)
+        f_local = average_fanout(graph, local.assignment, 8)
+        f_random = average_fanout(
+            graph,
+            get_partitioner("random")(graph, k=8, seed=1).assignment,
+            8,
+        )
+        # Both achieve a large share of the random->optimized improvement.
+        assert (f_random - f_dist) > 0.6 * (f_random - f_local)
+
+    def test_objective_sweep_shapes(self, dataset):
+        """Fig. 8's qualitative claim: p = 0.5 beats direct fanout (p = 1)."""
+        f_half = average_fanout(dataset, shp_2(dataset, 8, seed=2, p=0.5).assignment, 8)
+        f_one = average_fanout(
+            dataset, shp_2(dataset, 8, seed=2, objective="fanout").assignment, 8
+        )
+        assert f_half <= f_one * 1.02  # p=0.5 no worse (typically much better)
+
+    def test_seed_stability_across_subsystems(self, dataset):
+        a = shp_k(dataset, 8, seed=9)
+        b = shp_k(dataset, 8, seed=9)
+        assert np.array_equal(a.assignment, b.assignment)
+        assert imbalance(a.assignment, 8) <= 0.05 + 1e-9

@@ -1,0 +1,106 @@
+"""Round-trip tests for hMetis / edge-list / NPZ serialization."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import (
+    BipartiteGraph,
+    GraphValidationError,
+    load_npz,
+    read_edge_list,
+    read_hmetis,
+    save_npz,
+    write_edge_list,
+    write_hmetis,
+)
+
+
+def _graphs_equal(a: BipartiteGraph, b: BipartiteGraph) -> bool:
+    return (
+        a.num_queries == b.num_queries
+        and a.num_data == b.num_data
+        and np.array_equal(a.q_indptr, b.q_indptr)
+        and np.array_equal(np.sort(a.q_indices), np.sort(b.q_indices))
+    )
+
+
+class TestHMetis:
+    def test_round_trip(self, tiny_graph):
+        buffer = io.StringIO()
+        write_hmetis(tiny_graph, buffer)
+        buffer.seek(0)
+        loaded = read_hmetis(buffer, name="figure1")
+        assert _graphs_equal(tiny_graph, loaded)
+
+    def test_round_trip_with_weights(self):
+        w = np.array([1.0, 2.0, 3.0])
+        g = BipartiteGraph.from_hyperedges([[0, 1], [1, 2]], num_data=3, data_weights=w)
+        buffer = io.StringIO()
+        write_hmetis(g, buffer)
+        assert buffer.getvalue().splitlines()[0] == "2 3 10"
+        buffer.seek(0)
+        loaded = read_hmetis(buffer)
+        assert loaded.data_weights is not None
+        assert np.allclose(loaded.data_weights, w)
+
+    def test_one_based_ids(self, tiny_graph):
+        buffer = io.StringIO()
+        write_hmetis(tiny_graph, buffer)
+        lines = buffer.getvalue().splitlines()
+        # First hyperedge is {0,1,5} -> "1 2 6" in 1-based format.
+        assert sorted(int(x) for x in lines[1].split()) == [1, 2, 6]
+
+    def test_edge_weights_skipped(self):
+        text = "2 3 1\n7 1 2\n9 2 3\n"
+        loaded = read_hmetis(io.StringIO(text))
+        assert loaded.num_queries == 2
+        assert sorted(loaded.query_neighbors(0).tolist()) == [0, 1]
+
+    def test_truncated_file_rejected(self):
+        with pytest.raises(GraphValidationError):
+            read_hmetis(io.StringIO("3 4\n1 2\n"))
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(GraphValidationError):
+            read_hmetis(io.StringIO("42\n"))
+
+    def test_file_path_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.hgr"
+        write_hmetis(tiny_graph, path)
+        loaded = read_hmetis(path)
+        assert _graphs_equal(tiny_graph, loaded)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tiny_graph):
+        buffer = io.StringIO()
+        write_edge_list(tiny_graph, buffer)
+        buffer.seek(0)
+        loaded = read_edge_list(buffer)
+        assert _graphs_equal(tiny_graph, loaded)
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n\n0 1\n0 2\n"
+        loaded = read_edge_list(io.StringIO(text))
+        assert loaded.num_edges == 2
+
+
+class TestNpz:
+    def test_round_trip(self, medium_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(medium_graph, path)
+        loaded = load_npz(path)
+        assert _graphs_equal(medium_graph, loaded)
+        assert loaded.name == medium_graph.name
+
+    def test_round_trip_with_weights(self, tmp_path):
+        w = np.array([2.0, 1.0, 1.0])
+        g = BipartiteGraph.from_hyperedges([[0, 1], [1, 2]], num_data=3, data_weights=w)
+        path = tmp_path / "w.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        assert np.allclose(loaded.data_weights, w)

@@ -1,0 +1,73 @@
+"""Property-based round-trip tests for serialization."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import (
+    BipartiteGraph,
+    read_edge_list,
+    read_hmetis,
+    write_edge_list,
+    write_hmetis,
+)
+
+
+@st.composite
+def arbitrary_graph(draw):
+    num_queries = draw(st.integers(min_value=1, max_value=8))
+    num_data = draw(st.integers(min_value=1, max_value=10))
+    num_edges = draw(st.integers(min_value=1, max_value=24))
+    qs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_queries - 1),
+            min_size=num_edges, max_size=num_edges,
+        )
+    )
+    ds = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_data - 1),
+            min_size=num_edges, max_size=num_edges,
+        )
+    )
+    return BipartiteGraph.from_edges(qs, ds, num_queries=num_queries, num_data=num_data)
+
+
+def _canonical(graph: BipartiteGraph) -> list[tuple[int, int]]:
+    return sorted(zip(graph.q_of_edge.tolist(), graph.q_indices.tolist()))
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(arbitrary_graph())
+    def test_hmetis_preserves_edges(self, graph):
+        buffer = io.StringIO()
+        write_hmetis(graph, buffer)
+        buffer.seek(0)
+        loaded = read_hmetis(buffer)
+        assert _canonical(loaded) == _canonical(graph)
+        assert loaded.num_queries == graph.num_queries
+        # hMetis cannot express trailing isolated data vertices beyond the
+        # declared count, but we always declare num_data explicitly.
+        assert loaded.num_data == graph.num_data
+
+    @settings(max_examples=60, deadline=None)
+    @given(arbitrary_graph())
+    def test_edge_list_preserves_edges(self, graph):
+        buffer = io.StringIO()
+        write_edge_list(graph, buffer)
+        buffer.seek(0)
+        loaded = read_edge_list(buffer)
+        assert _canonical(loaded) == _canonical(graph)
+
+    @settings(max_examples=40, deadline=None)
+    @given(arbitrary_graph())
+    def test_validate_after_round_trip(self, graph):
+        buffer = io.StringIO()
+        write_hmetis(graph, buffer)
+        buffer.seek(0)
+        read_hmetis(buffer).validate()

@@ -1,0 +1,124 @@
+"""Tests for the multi-level baseline (coarsening + FM + V-cycle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.multilevel import (
+    MultilevelPartitioner,
+    coarsen,
+    coarsen_once,
+    cut_size,
+    fm_pass,
+    fm_refine,
+    initial_gains,
+    multilevel_partition,
+)
+from repro.baselines.multilevel.fm import _side_counts
+from repro.core import balanced_random_assignment
+from repro.hypergraph import BipartiteGraph, community_bipartite
+from repro.objectives import average_fanout, imbalance
+
+
+class TestCoarsening:
+    def test_reduces_vertices(self, medium_graph, rng):
+        weights = np.ones(medium_graph.num_data)
+        level = coarsen_once(medium_graph, weights, rng)
+        assert level is not None
+        assert level.graph.num_data < medium_graph.num_data
+
+    def test_parent_map_total(self, medium_graph, rng):
+        weights = np.ones(medium_graph.num_data)
+        level = coarsen_once(medium_graph, weights, rng)
+        assert level.parent_map.size == medium_graph.num_data
+        assert level.parent_map.min() >= 0
+        assert level.parent_map.max() == level.graph.num_data - 1
+
+    def test_weights_conserved(self, medium_graph, rng):
+        weights = np.ones(medium_graph.num_data)
+        level = coarsen_once(medium_graph, weights, rng)
+        assert np.isclose(level.weights.sum(), weights.sum())
+
+    def test_chain_reaches_target(self, medium_graph, rng):
+        weights = np.ones(medium_graph.num_data)
+        levels = coarsen(medium_graph, weights, target_vertices=100, rng=rng)
+        assert levels
+        assert levels[-1].graph.num_data <= max(150, 100 * 2)
+
+    def test_heavy_pairs_contracted(self, rng):
+        # Vertices 0,1 co-occur in 5 queries; 2,3 in one each.
+        hyperedges = [[0, 1]] * 5 + [[2, 3], [0, 2], [1, 3]]
+        g = BipartiteGraph.from_hyperedges(hyperedges, num_data=4)
+        level = coarsen_once(g, np.ones(4), rng)
+        assert level.parent_map[0] == level.parent_map[1]
+
+
+class TestFM:
+    def test_initial_gains_match_bruteforce(self, medium_graph, rng):
+        side = balanced_random_assignment(medium_graph.num_data, 2, rng)
+        counts = _side_counts(medium_graph, side)
+        gains = initial_gains(medium_graph, side, counts)
+        before = cut_size(counts)
+        for v in range(0, medium_graph.num_data, 97):
+            flipped = side.copy()
+            flipped[v] = 1 - flipped[v]
+            after = cut_size(_side_counts(medium_graph, flipped))
+            assert gains[v] == before - after
+
+    def test_pass_improves_or_keeps_cut(self, medium_graph, rng):
+        side = balanced_random_assignment(medium_graph.num_data, 2, rng)
+        caps = np.array([medium_graph.num_data, medium_graph.num_data], dtype=float)
+        before = cut_size(_side_counts(medium_graph, side))
+        gain, _ = fm_pass(medium_graph, side, np.ones(medium_graph.num_data), caps, rng)
+        after = cut_size(_side_counts(medium_graph, side))
+        assert after == before - gain
+        assert after <= before
+
+    def test_refine_respects_caps(self, medium_graph, rng):
+        side = balanced_random_assignment(medium_graph.num_data, 2, rng)
+        half = medium_graph.num_data / 2
+        caps = np.array([1.05 * half, 1.05 * half])
+        fm_refine(medium_graph, side, np.ones(medium_graph.num_data), caps, rng)
+        sizes = np.bincount(side, minlength=2)
+        assert sizes[0] <= caps[0] and sizes[1] <= caps[1]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_fm_gain_accounting_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        g = community_bipartite(40, 30, 200, num_communities=4, seed=seed)
+        if g.num_queries == 0:
+            return
+        side = balanced_random_assignment(g.num_data, 2, rng)
+        caps = np.array([g.num_data, g.num_data], dtype=float)
+        before = cut_size(_side_counts(g, side))
+        gain, _ = fm_pass(g, side, np.ones(g.num_data), caps, rng)
+        after = cut_size(_side_counts(g, side))
+        assert after == before - gain
+
+
+class TestPartitioner:
+    def test_balance_and_quality(self, medium_graph):
+        result = multilevel_partition(medium_graph, 8, seed=1)
+        assert imbalance(result.assignment, 8) <= 0.05 + 1e-9
+        rng = np.random.default_rng(0)
+        random_assign = balanced_random_assignment(medium_graph.num_data, 8, rng)
+        assert average_fanout(medium_graph, result.assignment, 8) < average_fanout(
+            medium_graph, random_assign, 8
+        )
+
+    def test_styles_differ(self, medium_graph):
+        a = multilevel_partition(medium_graph, 4, seed=1, style="mondriaan")
+        b = multilevel_partition(medium_graph, 4, seed=1, style="parkway")
+        assert a.method != b.method
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(k=4, style="patoh")
+
+    def test_non_power_of_two(self, medium_graph):
+        result = multilevel_partition(medium_graph, 5, seed=1)
+        assert np.unique(result.assignment).size == 5

@@ -1,0 +1,141 @@
+"""Unit tests for the objective implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.objectives import (
+    CliqueNetObjective,
+    FanoutObjective,
+    PFanoutObjective,
+    ScaledPFanout,
+    get_objective,
+)
+
+
+class TestPFanout:
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    def test_contribution_formula(self, p):
+        obj = PFanoutObjective(p)
+        counts = np.array([0, 1, 2, 5])
+        expected = 1.0 - (1.0 - p) ** counts
+        assert np.allclose(obj.contribution(counts), expected)
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    def test_removal_gain_is_difference(self, p):
+        obj = PFanoutObjective(p)
+        counts = np.array([1, 2, 3, 10])
+        expected = obj.contribution(counts) - obj.contribution(counts - 1)
+        assert np.allclose(obj.removal_gain(counts), expected)
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    def test_insertion_cost_is_difference(self, p):
+        obj = PFanoutObjective(p)
+        counts = np.array([0, 1, 2, 10])
+        expected = obj.contribution(counts + 1) - obj.contribution(counts)
+        assert np.allclose(obj.insertion_cost(counts), expected)
+
+    def test_p_one_exact_fanout(self):
+        obj = FanoutObjective()
+        counts = np.array([0, 1, 2, 7])
+        assert np.array_equal(obj.contribution(counts), [0, 1, 1, 1])
+        assert np.array_equal(obj.removal_gain(counts), [0, 1, 0, 0])
+        assert np.array_equal(obj.insertion_cost(counts), [1, 0, 0, 0])
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            PFanoutObjective(0.0)
+        with pytest.raises(ValueError):
+            PFanoutObjective(1.5)
+
+    def test_pfanout_below_fanout(self):
+        """p-fanout(q) <= fanout(q) for every count vector (Section 3.1)."""
+        counts = np.array([[3, 0, 1], [1, 1, 1]])
+        pf = PFanoutObjective(0.5).contribution(counts).sum(axis=1)
+        f = FanoutObjective().contribution(counts).sum(axis=1)
+        assert np.all(pf <= f + 1e-12)
+
+    def test_value_from_counts_normalizes(self):
+        obj = PFanoutObjective(0.5)
+        counts = np.array([[1, 1], [2, 0]])
+        per_query = obj.contribution(counts).sum(axis=1)
+        assert np.isclose(obj.value_from_counts(counts), per_query.mean())
+
+
+class TestScaledPFanout:
+    def test_t_one_matches_pfanout(self):
+        base = PFanoutObjective(0.4)
+        scaled = ScaledPFanout(0.4, splits_ahead=1)
+        counts = np.array([0, 1, 2, 6])
+        assert np.allclose(base.contribution(counts), scaled.contribution(counts))
+        assert np.allclose(base.removal_gain(counts), scaled.removal_gain(counts))
+        assert np.allclose(base.insertion_cost(counts), scaled.insertion_cost(counts))
+
+    def test_scalar_formula(self):
+        obj = ScaledPFanout(0.5, splits_ahead=4)
+        counts = np.array([0, 1, 3])
+        expected = 4.0 * (1.0 - (1.0 - 0.5 / 4.0) ** counts)
+        assert np.allclose(obj.contribution(counts), expected)
+
+    def test_consistency_differences(self):
+        obj = ScaledPFanout(0.7, splits_ahead=3)
+        counts = np.array([1, 2, 5])
+        assert np.allclose(
+            obj.removal_gain(counts),
+            obj.contribution(counts) - obj.contribution(counts - 1),
+        )
+        assert np.allclose(
+            obj.insertion_cost(counts),
+            obj.contribution(counts + 1) - obj.contribution(counts),
+        )
+
+    def test_per_bucket_splits_broadcast(self):
+        obj = ScaledPFanout(0.5, splits_ahead=np.array([2.0, 4.0]))
+        counts = np.array([[1, 1], [3, 0]])
+        col0 = ScaledPFanout(0.5, splits_ahead=2).contribution(counts[:, 0])
+        col1 = ScaledPFanout(0.5, splits_ahead=4).contribution(counts[:, 1])
+        both = obj.contribution(counts)
+        assert np.allclose(both[:, 0], col0)
+        assert np.allclose(both[:, 1], col1)
+
+    def test_degenerate_p1_t1(self):
+        obj = ScaledPFanout(1.0, splits_ahead=1)
+        counts = np.array([0, 1, 2])
+        assert np.array_equal(obj.contribution(counts), [0, 1, 1])
+        assert np.array_equal(obj.removal_gain(counts), [0, 1, 0])
+
+    def test_invalid_splits(self):
+        with pytest.raises(ValueError):
+            ScaledPFanout(0.5, splits_ahead=0)
+
+
+class TestCliqueNet:
+    def test_contribution_pairs(self):
+        obj = CliqueNetObjective()
+        counts = np.array([0, 1, 2, 4])
+        assert np.allclose(obj.contribution(counts), [0, 0, -1, -6])
+
+    def test_gain_linearity(self):
+        obj = CliqueNetObjective()
+        counts = np.array([1, 2, 5])
+        assert np.allclose(obj.removal_gain(counts), [0, -1, -4])
+        assert np.allclose(obj.insertion_cost(counts), [-1, -2, -5])
+
+    def test_cut_from_counts(self):
+        obj = CliqueNetObjective()
+        # One query, degree 4, split 2-2: 4 of 6 pairs cut.
+        counts = np.array([[2, 2]])
+        assert obj.cut_from_counts(counts) == 4.0
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert isinstance(get_objective("pfanout", p=0.3), PFanoutObjective)
+        assert isinstance(get_objective("fanout"), FanoutObjective)
+        assert isinstance(get_objective("clique-net"), CliqueNetObjective)
+        assert isinstance(get_objective("CLIQUENET"), CliqueNetObjective)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_objective("modularity")

@@ -1,0 +1,48 @@
+"""Tests for partition result persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import shp_2
+from repro.core import load_result, save_result
+
+
+class TestPersistence:
+    def test_round_trip(self, medium_graph, tmp_path):
+        result = shp_2(medium_graph, 8, seed=1)
+        path = save_result(result, tmp_path / "shard_map")
+        loaded = load_result(path)
+        assert np.array_equal(loaded.assignment, result.assignment)
+        assert loaded.k == 8
+        assert loaded.method == "SHP-2"
+        assert loaded.converged == result.converged
+        assert len(loaded.history) == len(result.history)
+        assert loaded.history[0].moved == result.history[0].moved
+
+    def test_extension_normalized(self, medium_graph, tmp_path):
+        result = shp_2(medium_graph, 4, seed=1)
+        path = save_result(result, tmp_path / "map.npz")
+        assert path.suffix == ".npz"
+        assert (tmp_path / "map.meta.json").exists()
+
+    def test_load_without_sidecar(self, medium_graph, tmp_path):
+        result = shp_2(medium_graph, 4, seed=1)
+        path = save_result(result, tmp_path / "map")
+        (tmp_path / "map.meta.json").unlink()
+        loaded = load_result(path)
+        assert np.array_equal(loaded.assignment, result.assignment)
+        assert loaded.method == "unknown"
+
+    def test_warm_start_pipeline(self, medium_graph, tmp_path):
+        """The production loop: load yesterday's map, warm-start today's."""
+        from repro import SHPConfig, incremental_update
+
+        yesterday = shp_2(medium_graph, 8, seed=1)
+        path = save_result(yesterday, tmp_path / "yesterday")
+        loaded = load_result(path)
+        outcome = incremental_update(
+            medium_graph, loaded.assignment,
+            SHPConfig(k=8, seed=2, max_iterations=5, move_penalty=0.1),
+        )
+        assert outcome.churn < 0.5

@@ -1,0 +1,183 @@
+"""Tests for traffic-weighted queries (production extension).
+
+Weighting queries by request frequency turns every objective into its
+traffic-weighted expectation; the gain kernel, both drivers, the metrics
+and the distributed protocol all honor the weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SHPConfig, shp_2, shp_k
+from repro.core import move_gains_dense
+from repro.hypergraph import BipartiteGraph, GraphValidationError, community_bipartite
+from repro.objectives import (
+    PFanoutObjective,
+    average_fanout,
+    bucket_counts,
+    objective_value,
+)
+
+
+def _weighted_graph(seed=3, hot=50.0):
+    base = community_bipartite(300, 400, 2500, num_communities=8, mixing=0.25, seed=seed)
+    rng = np.random.default_rng(seed)
+    weights = np.ones(base.num_queries)
+    hot_ids = rng.choice(base.num_queries, size=base.num_queries // 20, replace=False)
+    weights[hot_ids] = hot
+    return BipartiteGraph(
+        num_queries=base.num_queries,
+        num_data=base.num_data,
+        q_indptr=base.q_indptr,
+        q_indices=base.q_indices,
+        d_indptr=base.d_indptr,
+        d_indices=base.d_indices,
+        query_weights=weights,
+        name="weighted",
+    ), hot_ids
+
+
+class TestStructure:
+    def test_weights_propagate_through_filter(self):
+        g = BipartiteGraph.from_hyperedges(
+            [[0], [0, 1], [1, 2, 3]], num_data=4,
+            query_weights=np.array([9.0, 2.0, 3.0]),
+        )
+        filtered = g.remove_small_queries()
+        assert filtered.query_weights.tolist() == [2.0, 3.0]
+
+    def test_weights_propagate_through_subgraph(self):
+        g = BipartiteGraph.from_hyperedges(
+            [[0, 1], [2, 3], [0, 3]], num_data=4,
+            query_weights=np.array([1.0, 5.0, 7.0]),
+        )
+        sub, _ = g.induced_subgraph(np.array([2, 3]))
+        # Only query 1 ({2,3}) survives with degree >= 2.
+        assert sub.query_weights.tolist() == [5.0]
+
+    def test_validate_checks_length(self, tiny_graph):
+        bad = BipartiteGraph(
+            num_queries=tiny_graph.num_queries,
+            num_data=tiny_graph.num_data,
+            q_indptr=tiny_graph.q_indptr,
+            q_indices=tiny_graph.q_indices,
+            d_indptr=tiny_graph.d_indptr,
+            d_indices=tiny_graph.d_indices,
+            query_weights=np.ones(99),
+        )
+        with pytest.raises(GraphValidationError):
+            bad.validate()
+
+    def test_unit_weights_helper(self, tiny_graph):
+        assert np.array_equal(tiny_graph.query_weights_or_unit(), np.ones(3))
+
+
+class TestWeightedMetrics:
+    def test_weighted_fanout_emphasizes_hot_queries(self):
+        g = BipartiteGraph.from_hyperedges(
+            [[0, 1], [2, 3]], num_data=4, query_weights=np.array([3.0, 1.0])
+        )
+        # Query 0 cut (fanout 2), query 1 whole (fanout 1).
+        assignment = np.array([0, 1, 0, 0], dtype=np.int32)
+        expected = (3.0 * 2 + 1.0 * 1) / 4.0
+        assert average_fanout(g, assignment, 2) == pytest.approx(expected)
+
+    def test_uniform_weights_match_unweighted(self, medium_graph, rng):
+        assignment = rng.integers(0, 4, medium_graph.num_data).astype(np.int32)
+        weighted = BipartiteGraph(
+            num_queries=medium_graph.num_queries,
+            num_data=medium_graph.num_data,
+            q_indptr=medium_graph.q_indptr,
+            q_indices=medium_graph.q_indices,
+            d_indptr=medium_graph.d_indptr,
+            d_indices=medium_graph.d_indices,
+            query_weights=np.full(medium_graph.num_queries, 2.5),
+        )
+        assert average_fanout(weighted, assignment, 4) == pytest.approx(
+            average_fanout(medium_graph, assignment, 4)
+        )
+
+    def test_objective_value_weighted(self):
+        counts = np.array([[1, 1], [2, 0]])
+        obj = PFanoutObjective(0.5)
+        unweighted = objective_value(obj, counts)
+        weighted = objective_value(obj, counts, np.array([1.0, 3.0]))
+        per_query = obj.contribution(counts).sum(axis=1)
+        assert weighted == pytest.approx((per_query[0] + 3 * per_query[1]) / 4)
+        assert unweighted == pytest.approx(per_query.mean())
+
+
+class TestWeightedGains:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_gains_match_weighted_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        nq, nd, k = 5, 6, 3
+        edges = rng.integers(0, [nq, nd], size=(12, 2))
+        weights = rng.uniform(0.5, 5.0, nq)
+        graph = BipartiteGraph.from_edges(
+            edges[:, 0], edges[:, 1], num_queries=nq, num_data=nd,
+            query_weights=weights,
+        )
+        assignment = rng.integers(0, k, nd).astype(np.int32)
+        obj = PFanoutObjective(0.5)
+        counts = bucket_counts(graph, assignment, k)
+        gains = move_gains_dense(graph, assignment, counts, obj)
+
+        def total(a):
+            c = bucket_counts(graph, a, k)
+            return float((obj.contribution(c).sum(axis=1) * weights).sum())
+
+        before = total(assignment)
+        for v in range(nd):
+            for j in range(k):
+                if j == assignment[v]:
+                    continue
+                moved = assignment.copy()
+                moved[v] = j
+                assert gains[v, j] == pytest.approx(before - total(moved), abs=1e-9)
+
+
+class TestWeightedOptimization:
+    def test_hot_queries_get_uncut_preferentially(self):
+        graph, hot_ids = _weighted_graph()
+        unweighted = BipartiteGraph(
+            num_queries=graph.num_queries,
+            num_data=graph.num_data,
+            q_indptr=graph.q_indptr,
+            q_indices=graph.q_indices,
+            d_indptr=graph.d_indptr,
+            d_indices=graph.d_indices,
+            name="unweighted",
+        )
+        k = 8
+        res_w = shp_k(graph, k, seed=5)
+        res_u = shp_k(unweighted, k, seed=5)
+
+        def hot_fanout(assignment):
+            counts = bucket_counts(graph, assignment, k)
+            return float((counts[hot_ids] > 0).sum(axis=1).mean())
+
+        # Weight-aware optimization serves the hot queries better.
+        assert hot_fanout(res_w.assignment) <= hot_fanout(res_u.assignment)
+
+    def test_shp2_accepts_weights(self):
+        graph, _ = _weighted_graph(seed=9)
+        result = shp_2(graph, 8, seed=2)
+        assert np.unique(result.assignment).size == 8
+
+    def test_distributed_accepts_weights(self):
+        graph, _ = _weighted_graph(seed=11)
+        from repro.distributed_shp import DistributedSHP
+
+        config = SHPConfig(k=4, seed=3, iterations_per_bisection=5, swap_mode="bernoulli")
+        run = DistributedSHP(config, mode="2").run(graph)
+        rng = np.random.default_rng(0)
+        random_assign = rng.integers(0, 4, graph.num_data).astype(np.int32)
+        assert average_fanout(graph, run.assignment, 4) < average_fanout(
+            graph, random_assign, 4
+        )

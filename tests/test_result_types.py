@@ -1,0 +1,48 @@
+"""Tests for result containers and iteration statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import IterationStats, PartitionResult
+
+
+class TestIterationStats:
+    def test_row_minimal(self):
+        stats = IterationStats(iteration=3, moved=10, moved_fraction=0.01)
+        row = stats.row()
+        assert row["iter"] == 3
+        assert row["moved"] == 10
+        assert row["moved %"] == 1.0
+        assert "objective" not in row
+
+    def test_row_full(self):
+        stats = IterationStats(
+            iteration=1, moved=5, moved_fraction=0.5,
+            objective_value=1.23456, fanout=2.5,
+        )
+        row = stats.row()
+        assert row["objective"] == 1.23456
+        assert row["fanout"] == 2.5
+
+
+class TestPartitionResult:
+    def test_bucket_sizes(self):
+        result = PartitionResult(
+            assignment=np.array([0, 0, 1, 2], dtype=np.int32), k=4, method="x"
+        )
+        assert result.bucket_sizes().tolist() == [2, 1, 1, 0]
+
+    def test_num_iterations(self):
+        history = [IterationStats(i, 0, 0.0) for i in range(1, 6)]
+        result = PartitionResult(
+            assignment=np.zeros(2, dtype=np.int32), k=2, method="x", history=history
+        )
+        assert result.num_iterations == 5
+
+    def test_levels_independent_of_history(self):
+        result = PartitionResult(
+            assignment=np.zeros(2, dtype=np.int32), k=2, method="SHP-2",
+            levels=[[IterationStats(1, 0, 0.0)], []],
+        )
+        assert len(result.levels) == 2

@@ -1,0 +1,106 @@
+"""Property-based tests for the histogram matcher's safety invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GainBinning, HistogramMatcher
+from repro.core.swaps import match_histogram_cells
+
+
+@st.composite
+def mover_population(draw):
+    """Random mover arrays over a small bucket space."""
+    k = draw(st.integers(min_value=2, max_value=6))
+    n = draw(st.integers(min_value=1, max_value=60))
+    src = draw(
+        st.lists(st.integers(min_value=0, max_value=k - 1), min_size=n, max_size=n)
+    )
+    dst = []
+    for s in src:
+        t = draw(st.integers(min_value=0, max_value=k - 2))
+        dst.append(t if t < s else t + 1)  # never propose staying
+    gains = draw(
+        st.lists(
+            st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    return (
+        k,
+        np.array(src, dtype=np.int32),
+        np.array(dst, dtype=np.int32),
+        np.array(gains, dtype=np.float64),
+    )
+
+
+BINNING = GainBinning(num_bins=32, min_gain=1e-6)
+
+
+class TestMatcherInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(mover_population(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_strict_mode_respects_capacities(self, population, seed):
+        """With caps == current sizes, strict matching can only swap, so the
+        per-bucket sizes after applying the moves are unchanged."""
+        k, src, dst, gains = population
+        rng = np.random.default_rng(seed)
+        sizes = np.bincount(src, minlength=k).astype(np.int64)
+        caps = sizes.copy()  # zero slack: only matched swaps allowed
+        matcher = HistogramMatcher(BINNING, swap_mode="strict")
+        decision = matcher.decide(src, dst, gains, k, sizes, caps, rng)
+        after = src.copy()
+        after[decision.move] = dst[decision.move]
+        assert np.array_equal(np.bincount(after, minlength=k), sizes)
+
+    @settings(max_examples=80, deadline=None)
+    @given(mover_population(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_extras_never_exceed_caps(self, population, seed):
+        k, src, dst, gains = population
+        rng = np.random.default_rng(seed)
+        sizes = np.bincount(src, minlength=k).astype(np.int64)
+        caps = sizes + rng.integers(0, 5, size=k)
+        matcher = HistogramMatcher(BINNING, swap_mode="strict")
+        decision = matcher.decide(src, dst, gains, k, sizes, caps, rng)
+        after = src.copy()
+        after[decision.move] = dst[decision.move]
+        assert np.all(np.bincount(after, minlength=k) <= caps)
+
+    @settings(max_examples=60, deadline=None)
+    @given(mover_population())
+    def test_allowed_bounded_by_count(self, population):
+        k, src, dst, gains = population
+        bins = BINNING.bin_of(gains)
+        key = (src.astype(np.int64) * k + dst) * BINNING.num_bin_ids + BINNING.bin_key(bins)
+        cells, counts = np.unique(key, return_counts=True)
+        pair = cells // BINNING.num_bin_ids
+        allowed = match_histogram_cells(
+            pair // k,
+            pair % k,
+            BINNING.key_to_bin(cells % BINNING.num_bin_ids),
+            counts,
+            k,
+            np.bincount(src, minlength=k).astype(np.int64),
+            np.bincount(src, minlength=k).astype(np.int64) + 3,
+            BINNING,
+        )
+        assert np.all(allowed >= 0)
+        assert np.all(allowed <= counts)
+
+    @settings(max_examples=40, deadline=None)
+    @given(mover_population(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_matched_flows_symmetric_without_slack(self, population, seed):
+        """Per bucket pair, forward and backward matched counts are equal
+        when no ε slack exists (pure swap semantics)."""
+        k, src, dst, gains = population
+        rng = np.random.default_rng(seed)
+        sizes = np.bincount(src, minlength=k).astype(np.int64)
+        matcher = HistogramMatcher(BINNING, swap_mode="strict")
+        decision = matcher.decide(src, dst, gains, k, sizes, sizes.copy(), rng)
+        flow = np.zeros((k, k), dtype=np.int64)
+        for s, d, moved in zip(src, dst, decision.move):
+            if moved:
+                flow[s, d] += 1
+        assert np.array_equal(flow, flow.T)
