@@ -8,7 +8,6 @@ optimum (total fanout 4).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import SHPConfig, SHPKPartitioner
 from repro.bench import format_table, record
@@ -30,10 +29,6 @@ def _run():
     fan_gains = move_gains_dense(graph, stuck, counts, FanoutObjective())
     for p in (0.25, 0.5, 0.75):
         pf_gains = move_gains_dense(graph, stuck, counts, PFanoutObjective(p))
-        for v in range(graph.num_data):
-            target = 1 - stuck[v]
-            if p == 0.5:
-                pass
         gain_rows.append(
             {
                 "objective": f"p-fanout(p={p})",

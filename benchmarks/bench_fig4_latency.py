@@ -19,7 +19,6 @@ from repro import shp_2
 from repro.bench import format_series, format_table, record
 from repro.baselines import random_partitioner
 from repro.hypergraph import darwini_bipartite
-from repro.objectives import average_fanout
 from repro.sharding import LatencyModel, latency_by_fanout, percentile_curve, replay_traffic
 from repro.workloads import sample_queries
 

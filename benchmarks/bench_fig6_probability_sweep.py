@@ -9,8 +9,7 @@ is clearly worse.
 
 from __future__ import annotations
 
-import numpy as np
-from conftest import bench_dataset
+from conftest import bench_dataset, smoke_mode
 
 from repro import shp_2
 from repro.bench import format_series, record
@@ -51,9 +50,12 @@ def test_fig6_probability_sweep(benchmark):
     record("fig6_probability_sweep", text, data={str(k): v for k, v in reductions.items()})
 
     for k, series in reductions.items():
-        by_p = dict(zip(P_VALUES, series))
-        # All reductions negative (better than random).
+        # All reductions negative (better than random) at any scale.
         assert all(v < 0 for v in series), (k, series)
+    if smoke_mode():
+        return  # shape claims below need bench-scale graphs
+    for k, series in reductions.items():
+        by_p = dict(zip(P_VALUES, series))
         # The mid-range (0.4-0.8) contains a value at least as good as p=1
         # (paper: direct fanout optimization is worse than p≈0.5).
         mid_best = min(by_p[p] for p in (0.4, 0.5, 0.6, 0.7, 0.8))

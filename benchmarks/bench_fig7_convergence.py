@@ -9,11 +9,10 @@ vertices falls below 0.1 % only after ~35 iterations.
 
 from __future__ import annotations
 
-from conftest import bench_dataset
+from conftest import bench_dataset, smoke_mode
 
 from repro import SHPConfig, SHPKPartitioner
 from repro.bench import format_series, record
-from repro.objectives import average_fanout
 
 ITERATIONS = 45
 
@@ -57,9 +56,11 @@ def test_fig7_convergence(benchmark):
               "moved_p05": m_half, "moved_p10": m_one},
     )
 
+    assert f_half[-1] < f_half[0]  # monotone-ish improvement overall
+    if smoke_mode():
+        return  # local-minimum shape needs bench-scale graphs
     # Paper's qualitative claims: direct fanout optimization lands in a
     # local minimum — movement freezes while the result is worse.
     assert f_half[-1] < f_one[-1]  # p=0.5 reaches lower fanout
     late = slice(20, None)
     assert sum(m_one[late]) < sum(m_half[late])  # p=1 frozen, p=0.5 moving
-    assert f_half[-1] < f_half[0]  # monotone-ish improvement overall

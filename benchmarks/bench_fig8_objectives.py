@@ -11,7 +11,7 @@ SHP-2 for k ∈ {2, 8, 32} on six hypergraphs:
 from __future__ import annotations
 
 import numpy as np
-from conftest import bench_dataset
+from conftest import bench_dataset, smoke_mode
 
 from repro import shp_2
 from repro.bench import format_table, record
@@ -60,6 +60,8 @@ def test_fig8_objectives(benchmark):
 
     direct_penalty = np.array([row["8a: p=1 +%"] for row in rows])
     clique_penalty = np.array([row["8b: cliquenet +%"] for row in rows])
+    if smoke_mode():
+        return  # penalty magnitudes below need bench-scale graphs
     # 8a: direct fanout optimization is worse on average, often much worse.
     assert direct_penalty.mean() > 5.0
     assert direct_penalty.max() > 20.0

@@ -4,6 +4,11 @@ All benches run at laptop scale (see DESIGN.md Section 5): every table
 prints published sizes next to generated ones, and `REPRO_BENCH_SCALE`
 multiplies the default scales for bigger runs (e.g. ``REPRO_BENCH_SCALE=4
 pytest benchmarks/``).
+
+CI runs every bench in **smoke mode** (``pytest benchmarks/ --smoke``):
+graph scales shrink by 20x, sweeps collapse to a single seed/setting, and
+the point is only that each benchmark still executes end to end — the
+numbers are not meaningful at that size.
 """
 
 from __future__ import annotations
@@ -31,9 +36,36 @@ BENCH_SCALES: dict[str, float] = {
     "FB-10B": 0.00008,
 }
 
+#: Graph-scale shrink applied on top of BENCH_SCALES in smoke mode.
+SMOKE_SHRINK = 0.05
+
+_SMOKE = False
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="smoke mode: tiny graphs, one seed per sweep (CI rot check)",
+    )
+
+
+def pytest_configure(config) -> None:
+    global _SMOKE
+    _SMOKE = bool(config.getoption("--smoke", default=False))
+
+
+def smoke_mode() -> bool:
+    """True when the suite runs under ``--smoke`` (benches shrink sweeps)."""
+    return _SMOKE
+
 
 def scale_factor() -> float:
-    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    if smoke_mode():
+        factor *= SMOKE_SHRINK
+    return factor
 
 
 @lru_cache(maxsize=32)

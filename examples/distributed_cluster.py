@@ -1,10 +1,22 @@
-"""Distributed SHP on a simulated Giraph cluster (Section 3.2).
+"""Distributed SHP on a Giraph-like cluster (Section 3.2).
 
 Runs the real 4-superstep protocol — data vertices announce bucket deltas,
 queries maintain and scatter neighbor data, the master matches gain
-histograms and broadcasts move probabilities — on an in-process 4-worker
-cluster with full message/byte/memory metering, then prints the per-phase
-communication profile and the modeled wall-clock.
+histograms and broadcasts move probabilities — on a 4-worker cluster with
+full message/byte/memory metering, then prints the per-phase communication
+profile and the modeled wall-clock.
+
+The cluster substrate is a pluggable *backend*:
+
+* ``sim`` (default) — workers simulated sequentially in-process; instant
+  startup, ideal for protocol studies and modeled cluster minutes.
+* ``mp`` — one OS process per worker; the immutable bipartite CSR arrays
+  are published once via ``multiprocessing.shared_memory`` and message
+  batches flow through per-superstep channels with a master barrier.  Real
+  parallel wall-clock; pick at most one worker per physical core.
+
+Both produce bit-identical assignments for the same seed — this example
+runs both and checks.
 
 Run:  python examples/distributed_cluster.py
 """
@@ -33,6 +45,13 @@ def main() -> None:
     cluster = ClusterSpec(num_workers=4)
     print(f"running distributed SHP-2 (k={k}) on {cluster.num_workers} workers ...")
     run = DistributedSHP(config, cluster=cluster, mode="2").run(graph)
+
+    print("re-running on the multiprocess backend (one OS process per worker) ...")
+    mp_run = DistributedSHP(config, cluster=cluster, mode="2", backend="mp").run(graph)
+    same = bool(np.array_equal(run.assignment, mp_run.assignment))
+    print(f"backends agree bit-for-bit: {same} "
+          f"(sim wall {run.metrics.wall_seconds:.1f}s, "
+          f"mp wall {mp_run.metrics.wall_seconds:.1f}s)")
 
     rng = np.random.default_rng(0)
     random_fanout = average_fanout(

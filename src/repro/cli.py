@@ -3,6 +3,7 @@
 Usage (also via ``python -m repro``):
 
     repro partition INPUT.hgr -k 16 --algorithm shp-2 -o assignment.txt
+    repro partition INPUT.hgr -k 16 --backend mp --workers 4
     repro evaluate INPUT.hgr assignment.txt -k 16
     repro compare INPUT.hgr -k 16
     repro generate soc-Pokec --scale 0.01 -o pokec.hgr
@@ -67,14 +68,19 @@ def _save_graph(graph: BipartiteGraph, path: str) -> None:
 
 def _cmd_partition(args: argparse.Namespace) -> int:
     graph = _load_graph(args.input).remove_small_queries()
-    partitioner = get_partitioner(args.algorithm)
-    kwargs: dict = {"k": args.k, "epsilon": args.epsilon, "seed": args.seed}
-    if args.algorithm in ("shp-2", "shp-k"):
-        kwargs["p"] = args.p
-        if args.objective != "pfanout":
-            kwargs["objective"] = args.objective
     start = time.perf_counter()
-    result = partitioner(graph, **kwargs)
+    if args.backend == "local":
+        partitioner = get_partitioner(args.algorithm)
+        kwargs: dict = {"k": args.k, "epsilon": args.epsilon, "seed": args.seed}
+        if args.algorithm in ("shp-2", "shp-k"):
+            kwargs["p"] = args.p
+            if args.objective != "pfanout":
+                kwargs["objective"] = args.objective
+        result = partitioner(graph, **kwargs)
+        label = args.algorithm
+    else:
+        result = _run_distributed(args, graph)
+        label = f"{args.algorithm}@{args.backend}x{args.workers}"
     elapsed = time.perf_counter() - start
     quality = evaluate_partition(graph, result.assignment, args.k)
     if args.output:
@@ -82,9 +88,32 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             "\n".join(str(int(b)) for b in result.assignment) + "\n"
         )
         print(f"assignment written to {args.output}")
-    print(format_table([{"algorithm": args.algorithm, "sec": round(elapsed, 2),
+    print(format_table([{"algorithm": label, "sec": round(elapsed, 2),
                          **quality.row()}], title=f"{graph.name or args.input}"))
     return 0
+
+
+def _run_distributed(args: argparse.Namespace, graph: BipartiteGraph):
+    """Run SHP on the vertex-centric engine with the chosen backend."""
+    from .core.config import SHPConfig
+    from .distributed import ClusterSpec
+    from .distributed_shp import DistributedSHP
+
+    if args.algorithm not in ("shp-2", "shp-k"):
+        raise SystemExit(
+            f"--backend {args.backend} supports shp-2 / shp-k "
+            f"(got {args.algorithm!r}); other algorithms run with --backend local"
+        )
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    mode = "2" if args.algorithm == "shp-2" else "k"
+    config = SHPConfig(
+        k=args.k, p=args.p, objective=args.objective, epsilon=args.epsilon,
+        seed=args.seed, swap_mode="bernoulli",
+    )
+    cluster = ClusterSpec(num_workers=args.workers)
+    job = DistributedSHP(config, cluster=cluster, mode=mode, backend=args.backend)
+    return job.run(graph)
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -163,6 +192,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--objective", default="pfanout", choices=["pfanout", "fanout", "cliquenet"],
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend", default="local", choices=["local", "sim", "mp"],
+        help="execution backend: 'local' (in-process vectorized optimizer), "
+        "'sim' (vertex-centric engine, simulated workers), "
+        "'mp' (vertex-centric engine, one OS process per worker)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4,
+        help="cluster worker count for --backend sim/mp (default: 4)",
+    )
     p.add_argument("-o", "--output", help="write assignment (one bucket per line)")
     p.set_defaults(func=_cmd_partition)
 

@@ -28,10 +28,28 @@ _DQ_CACHE_ATTR = "_cached_dq_matrix"
 
 
 def data_query_matrix(graph: BipartiteGraph) -> sparse.csr_matrix:
-    """|D| × |Q| sparse incidence matrix (cached on the graph instance)."""
+    """|D| × |Q| sparse incidence matrix (cached on the graph instance).
+
+    :class:`BipartiteGraph` arrays are immutable *by convention* — algorithms
+    never write into them — but nothing stops a caller from rebinding
+    ``graph.d_indptr``/``graph.d_indices`` to different arrays (e.g. when
+    re-using a graph object as a container).  The cache therefore stores the
+    exact array objects it was built from and revalidates with ``is`` (the
+    stored references also keep those ids alive, so identity cannot be
+    recycled): rebinding invalidates the cached matrix instead of silently
+    serving gains for the old topology.  In-place element writes remain
+    undetectable and are outside the contract.
+    """
     cached = getattr(graph, _DQ_CACHE_ATTR, None)
     if cached is not None:
-        return cached
+        indptr, indices, num_data, num_queries, matrix = cached
+        if (
+            indptr is graph.d_indptr
+            and indices is graph.d_indices
+            and num_data == graph.num_data
+            and num_queries == graph.num_queries
+        ):
+            return matrix
     matrix = sparse.csr_matrix(
         (
             np.ones(graph.d_indices.size, dtype=np.float64),
@@ -40,7 +58,11 @@ def data_query_matrix(graph: BipartiteGraph) -> sparse.csr_matrix:
         ),
         shape=(graph.num_data, graph.num_queries),
     )
-    object.__setattr__(graph, _DQ_CACHE_ATTR, matrix)
+    object.__setattr__(
+        graph,
+        _DQ_CACHE_ATTR,
+        (graph.d_indptr, graph.d_indices, graph.num_data, graph.num_queries, matrix),
+    )
     return matrix
 
 
@@ -69,7 +91,6 @@ def move_gains_dense(
 
     ``gains[v, assignment[v]]`` is set to 0 (staying is not a move).
     """
-    k = counts.shape[1]
     weights = (
         None if graph.query_weights is None else graph.query_weights_or_unit()
     )
@@ -98,7 +119,6 @@ def best_moves(
     ``O(block_rows · k + |Q| · k)``.
     """
     num_data = graph.num_data
-    k = counts.shape[1]
     weights = (
         None if graph.query_weights is None else graph.query_weights_or_unit()
     )

@@ -1,15 +1,42 @@
-"""Vertex-centric (Giraph-like) execution substrate with metered resources."""
+"""Vertex-centric (Giraph-like) execution substrate with metered resources.
 
+Execution is backend-pluggable: :class:`SimulatedBackend` runs every worker
+in-process (deterministic, instant startup), :class:`MultiprocessBackend`
+runs one OS process per worker over shared-memory graph arrays.  Both
+produce bit-identical vertex states for a given seed.
+"""
+
+from .backend import (
+    Backend,
+    SimulatedBackend,
+    backend_names,
+    resolve_backend,
+)
 from .cluster import PAPER_MACHINE, ClusterSpec, CostModel, MachineSpec
 from .engine import GiraphEngine, JobResult, MasterProgram, VertexContext, VertexProgram
 from .messages import Combiner, SumCombiner, sizeof_payload
 from .metrics import JobMetrics, SuperstepMetrics
+
+
+def __getattr__(name):
+    # MultiprocessBackend is re-exported lazily so that sim-only imports
+    # never pay for multiprocessing/shared_memory machinery.
+    if name == "MultiprocessBackend":
+        from .backend_mp import MultiprocessBackend
+
+        return MultiprocessBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "MachineSpec",
     "ClusterSpec",
     "CostModel",
     "PAPER_MACHINE",
+    "Backend",
+    "SimulatedBackend",
+    "MultiprocessBackend",
+    "backend_names",
+    "resolve_backend",
     "GiraphEngine",
     "JobResult",
     "VertexContext",

@@ -1,0 +1,346 @@
+"""Execution backends for the vertex-centric engine.
+
+The engine's superstep loop is backend-agnostic; a :class:`Backend` decides
+*where* worker partitions execute:
+
+* :class:`SimulatedBackend` — every worker runs sequentially in the calling
+  process.  Zero startup cost, deterministic, and the metering (messages,
+  bytes, per-worker ops and memory) models what a real cluster would see.
+* :class:`MultiprocessBackend` (``backend_mp``) — one OS process per worker,
+  shared-memory graph arrays, real parallel wall-clock.
+
+Both call :func:`execute_worker_superstep` for the per-worker work and
+:func:`assemble_superstep_metrics` at the barrier, so the numbers they
+report — and, given a seed, the vertex states they produce — are identical.
+A future RPC/cluster backend only needs to move the same two functions
+across the wire.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .messages import Combiner, sizeof_payload
+from .metrics import JobMetrics, SuperstepMetrics
+
+__all__ = [
+    "Backend",
+    "SimulatedBackend",
+    "WorkerStepResult",
+    "execute_worker_superstep",
+    "assemble_superstep_metrics",
+    "resolve_backend",
+    "backend_names",
+]
+
+
+@dataclass
+class WorkerStepResult:
+    """Everything one worker reports at the superstep barrier."""
+
+    worker_id: int
+    #: outbound message batches, keyed by destination worker id; each batch
+    #: is a list of ``(dst_vertex, payload)`` in send order.
+    batches: dict[int, list] = field(default_factory=dict)
+    aggregates: dict = field(default_factory=dict)
+    ops: float = 0.0
+    active: int = 0
+    messages_sent: int = 0
+    messages_local: int = 0
+    bytes_local: int = 0
+    #: bytes sent to each *remote* worker (own column is zero).
+    remote_row: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    state_bytes: int = 0
+
+
+def execute_worker_superstep(
+    worker_id: int,
+    vids: list[int],
+    states: dict[int, dict],
+    program,
+    superstep: int,
+    broadcasts: dict,
+    mailboxes: dict[int, list],
+    seed: int,
+    worker_of,
+    num_workers: int,
+    combiner: Combiner | None = None,
+) -> WorkerStepResult:
+    """Run one worker's share of a superstep and meter its traffic.
+
+    This is the single code path executed by every backend (in-process or
+    inside a worker OS process), which is what guarantees cross-backend
+    parity.  ``worker_of`` only needs ``__getitem__`` (dict or array).
+    """
+    from .engine import VertexContext
+
+    ctx = VertexContext(
+        superstep=superstep,
+        worker_id=worker_id,
+        broadcasts=broadcasts or {},
+        seed=seed,
+    )
+    active = 0
+    for vid in vids:
+        msgs = mailboxes.get(vid)
+        ctx._begin_vertex(vid)
+        program.compute(ctx, vid, states[vid], msgs or [])
+        if msgs:
+            active += 1
+
+    outbox = ctx._outbox
+    if combiner is not None:
+        grouped: dict[int, list] = {}
+        for dst, payload in outbox:
+            grouped.setdefault(dst, []).append(payload)
+        outbox = [
+            (dst, payload)
+            for dst, payloads in grouped.items()
+            for payload in combiner.combine(payloads)
+        ]
+
+    result = WorkerStepResult(
+        worker_id=worker_id,
+        aggregates=ctx._aggregates,
+        ops=float(ctx._ops),
+        active=active,
+        remote_row=np.zeros(num_workers, dtype=np.float64),
+    )
+    for dst, payload in outbox:
+        dst_worker = int(worker_of[dst])
+        size = sizeof_payload(payload)
+        result.messages_sent += 1
+        if dst_worker == worker_id:
+            result.messages_local += 1
+            result.bytes_local += size
+        else:
+            result.remote_row[dst_worker] += size
+        result.batches.setdefault(dst_worker, []).append((dst, payload))
+    result.state_bytes = sum(_sizeof_state(states[vid]) for vid in vids)
+    return result
+
+
+def assemble_superstep_metrics(
+    results: list[WorkerStepResult],
+    superstep: int,
+    phase: str,
+    num_workers: int,
+) -> SuperstepMetrics:
+    """Combine per-worker barrier reports into one :class:`SuperstepMetrics`."""
+    ops = np.zeros(num_workers, dtype=np.float64)
+    messages_per_worker = np.zeros(num_workers, dtype=np.float64)
+    bytes_local = 0
+    messages_local = 0
+    messages_sent = 0
+    sent_matrix = np.zeros((num_workers, num_workers), dtype=np.float64)
+    local_bytes_per_worker = np.zeros(num_workers, dtype=np.float64)
+    state_bytes = np.zeros(num_workers, dtype=np.float64)
+    active = 0
+    for res in results:
+        w = res.worker_id
+        ops[w] = res.ops
+        messages_per_worker[w] = res.messages_sent
+        messages_sent += res.messages_sent
+        messages_local += res.messages_local
+        bytes_local += res.bytes_local
+        sent_matrix[w] = res.remote_row
+        local_bytes_per_worker[w] = res.bytes_local
+        state_bytes[w] = res.state_bytes
+        active += res.active
+
+    # Remote traffic charges both endpoints (send + receive side).
+    remote_bytes_per_worker = sent_matrix.sum(axis=1) + sent_matrix.sum(axis=0)
+    bytes_remote = int(sent_matrix.sum())
+    # Resident memory: worker-local states plus the mailbox it just received.
+    inbound_bytes = sent_matrix.sum(axis=0) + local_bytes_per_worker
+    return SuperstepMetrics(
+        superstep=superstep,
+        phase=phase,
+        ops_per_worker=ops,
+        messages_local=messages_local,
+        messages_remote=messages_sent - messages_local,
+        bytes_local=bytes_local,
+        bytes_remote=bytes_remote,
+        remote_bytes_per_worker=remote_bytes_per_worker,
+        messages_per_worker=messages_per_worker,
+        memory_per_worker=state_bytes + inbound_bytes,
+        active_vertices=active,
+    )
+
+
+def merge_aggregates(target: dict, parts: list[dict]) -> dict:
+    """Fold per-worker aggregator dicts into ``target`` (worker-id order)."""
+    for part in parts:
+        for name, bucket in part.items():
+            merged = target.setdefault(name, {})
+            for key, value in bucket.items():
+                merged[key] = merged.get(key, 0.0) + value
+    return target
+
+
+class Backend(ABC):
+    """Strategy deciding where the engine's worker partitions execute.
+
+    :meth:`run` is a template method owning the whole superstep protocol —
+    master compute/halt, aggregate reduction, metrics assembly, wall-clock —
+    so every backend (and any future RPC one) shares one driver and can only
+    differ in *where* the per-worker work happens.  Subclasses implement the
+    three hooks; a backend instance drives one run at a time.
+
+    Backend contract: after :meth:`run`, the per-vertex state dicts the
+    caller passed to ``engine.load()`` hold the final values (mutated in
+    place), identical on every backend.
+    """
+
+    name: str = "abstract"
+
+    def run(self, engine, program, master, max_supersteps: int, combiner) -> "JobResult":
+        """Execute the superstep loop for a loaded engine."""
+        from .engine import JobResult
+
+        num_workers = engine.cluster.num_workers
+        metrics = JobMetrics(cluster=engine.cluster)
+        start = time.perf_counter()
+        halted = False
+        broadcasts: dict = {}
+        aggregates: dict = {}
+        executed = 0
+
+        try:
+            self._open(engine, program, combiner)
+            for superstep in range(max_supersteps):
+                if master is not None:
+                    broadcasts = master.compute(superstep, aggregates)
+                    if broadcasts is None:
+                        halted = True
+                        break
+                results = self._execute_superstep(superstep, broadcasts or {})
+                aggregates = merge_aggregates(
+                    {}, [res.aggregates for res in results]
+                )
+                phase = (
+                    program.phase_name(superstep)
+                    if hasattr(program, "phase_name")
+                    else ""
+                )
+                metrics.add(
+                    assemble_superstep_metrics(results, superstep, phase, num_workers)
+                )
+                executed += 1
+            states = self._finish()
+        finally:
+            self._close()
+
+        metrics.wall_seconds = time.perf_counter() - start
+        return JobResult(
+            states=states,
+            metrics=metrics,
+            supersteps_run=executed,
+            halted_by_master=halted,
+        )
+
+    # -- hooks -----------------------------------------------------------
+    @abstractmethod
+    def _open(self, engine, program, combiner) -> None:
+        """Prepare a run: bind/ship the graph, start workers, reset queues."""
+
+    @abstractmethod
+    def _execute_superstep(self, superstep: int, broadcasts: dict) -> list[WorkerStepResult]:
+        """Run every worker's share of one superstep and route the batches
+        so they are delivered at ``superstep + 1``; returns barrier reports."""
+
+    @abstractmethod
+    def _finish(self) -> dict[int, dict]:
+        """Fold final vertex states back into the engine's dicts (in place)
+        and return them.  Called only when the loop completes cleanly."""
+
+    def _close(self) -> None:
+        """Release run resources (always called, including on errors)."""
+
+
+class SimulatedBackend(Backend):
+    """In-process sequential execution of every worker (the classic mode)."""
+
+    name = "sim"
+
+    def __init__(self):
+        self._engine = None
+        self._program = None
+        self._combiner = None
+        self._mailboxes: dict[int, list] = {}
+
+    def _open(self, engine, program, combiner) -> None:
+        self._engine = engine
+        self._program = program
+        self._combiner = combiner
+        self._mailboxes = {}
+        if engine._graph is not None and hasattr(program, "bind_graph"):
+            program.bind_graph(engine._graph)
+
+    def _execute_superstep(self, superstep: int, broadcasts: dict) -> list[WorkerStepResult]:
+        engine = self._engine
+        num_workers = engine.cluster.num_workers
+        results = [
+            execute_worker_superstep(
+                worker_id,
+                engine._worker_vertices[worker_id],
+                engine._states,
+                self._program,
+                superstep,
+                broadcasts,
+                self._mailboxes,
+                engine.seed,
+                engine._worker_of,
+                num_workers,
+                self._combiner,
+            )
+            for worker_id in range(num_workers)
+        ]
+        mailboxes: dict[int, list] = {}
+        for res in results:
+            for batch in res.batches.values():
+                for dst, payload in batch:
+                    mailboxes.setdefault(dst, []).append(payload)
+        self._mailboxes = mailboxes
+        return results
+
+    def _finish(self) -> dict[int, dict]:
+        return self._engine._states
+
+    def _close(self) -> None:
+        self._engine = self._program = self._combiner = None
+        self._mailboxes = {}
+
+
+def _sizeof_state(state: dict) -> int:
+    total = 64  # object overhead
+    for value in state.values():
+        total += sizeof_payload(value)
+    return total
+
+
+def backend_names() -> list[str]:
+    """Names accepted by :func:`resolve_backend` (and the CLI)."""
+    return ["sim", "mp"]
+
+
+def resolve_backend(backend) -> Backend:
+    """Turn ``None`` / ``"sim"`` / ``"mp"`` / instance into a :class:`Backend`."""
+    if backend is None:
+        return SimulatedBackend()
+    if isinstance(backend, Backend):
+        return backend
+    if backend == "sim":
+        return SimulatedBackend()
+    if backend == "mp":
+        from .backend_mp import MultiprocessBackend
+
+        return MultiprocessBackend()
+    raise ValueError(
+        f"unknown backend {backend!r} (expected one of {backend_names()} "
+        "or a Backend instance)"
+    )

@@ -1,0 +1,429 @@
+"""Shared-nothing multiprocess backend: one OS process per cluster worker.
+
+Layout (mirrors a small Giraph deployment on a single machine):
+
+* The **master** (calling process) runs the master program, reduces
+  aggregators, routes message batches between workers and assembles the
+  per-superstep metrics — exactly the responsibilities Giraph gives its
+  master/coordinator.
+* Each **worker process** owns its vertex partition (states are shipped
+  once at startup and never shared), executes
+  :func:`repro.distributed.backend.execute_worker_superstep` every
+  superstep, and reports outbound batches + aggregates at the barrier.
+* The immutable graph (bipartite CSR arrays) and the vertex-placement table
+  are published once through ``multiprocessing.shared_memory`` — workers
+  attach zero-copy, read-only views instead of receiving pickled copies.
+* Message batches are pickled **once per hop** in the sending worker and
+  routed by the master as opaque byte blobs, so the master never
+  re-serializes traffic it merely forwards.
+
+Determinism: placement comes from the engine seed and ``ctx.random()`` is
+counter-based (see :mod:`repro.distributed.engine`), so a job produces
+bit-identical vertex states on this backend and on the simulator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import time
+import traceback
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .backend import Backend, execute_worker_superstep
+
+__all__ = ["MultiprocessBackend", "SharedArrayPack", "share_graph", "attach_graph"]
+
+_PICKLE_PROTO = pickle.HIGHEST_PROTOCOL
+
+
+def _default_context() -> str:
+    override = os.environ.get("REPRO_MP_CONTEXT")
+    if override:
+        return override
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+# ----------------------------------------------------------------------
+# Shared-memory array publishing
+# ----------------------------------------------------------------------
+class SharedArrayPack:
+    """A named set of numpy arrays living in one shared-memory segment.
+
+    The creator copies the arrays in and keeps the segment alive; workers
+    :meth:`attach` read-only views by segment name.  Arrays are frozen
+    (``writeable=False``) on attach — the backend's immutability contract.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, layout: list, owner: bool):
+        self.shm = shm
+        #: list of (name, dtype-str, shape, byte offset)
+        self.layout = layout
+        self.owner = owner
+
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayPack":
+        layout = []
+        offset = 0
+        for name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            layout.append((name, arr.dtype.str, arr.shape, offset))
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        for (name, dtype, shape, off), arr in zip(layout, arrays.values()):
+            nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+            if nbytes:
+                view = np.ndarray(shape, dtype=dtype, buffer=shm.buf[off : off + nbytes])
+                view[...] = np.ascontiguousarray(arr)
+        return cls(shm, layout, owner=True)
+
+    @property
+    def handle(self) -> tuple:
+        """Picklable (segment name, layout) pair for workers."""
+        return (self.shm.name, self.layout)
+
+    @classmethod
+    def attach(cls, handle: tuple) -> "SharedArrayPack":
+        name, layout = handle
+        return cls(_attach_untracked(name), layout, owner=False)
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        out = {}
+        for name, dtype, shape, off in self.layout:
+            nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+            arr = np.ndarray(shape, dtype=dtype, buffer=self.shm.buf[off : off + nbytes])
+            arr.flags.writeable = False
+            out[name] = arr
+        return out
+
+    def close(self) -> None:
+        # Views into the buffer must be dropped before close(); callers are
+        # expected to have released them (worker exit / end of run).
+        try:
+            self.shm.close()
+            if self.owner:
+                self.shm.unlink()
+        except (OSError, BufferError):  # pragma: no cover - teardown race
+            pass
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    Only the creating master owns (and unlinks) a segment.  Stock
+    ``SharedMemory(name=...)`` also registers attach-only handles, which
+    makes the shared tracker try to clean the same name once per worker and
+    log spurious ``KeyError`` noise (Python < 3.13 has no ``track=False``).
+    """
+    try:  # pragma: no cover - depends on tracker internals
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = original
+    except ImportError:  # pragma: no cover - no tracker on this platform
+        return shared_memory.SharedMemory(name=name, create=False)
+
+
+def share_graph(graph) -> tuple[SharedArrayPack, dict]:
+    """Publish a :class:`BipartiteGraph`'s arrays; returns (pack, meta)."""
+    arrays = {
+        "q_indptr": graph.q_indptr,
+        "q_indices": graph.q_indices,
+        "d_indptr": graph.d_indptr,
+        "d_indices": graph.d_indices,
+    }
+    meta = {
+        "num_queries": graph.num_queries,
+        "num_data": graph.num_data,
+        "name": graph.name,
+        "has_data_weights": graph.data_weights is not None,
+        "has_query_weights": graph.query_weights is not None,
+    }
+    if graph.data_weights is not None:
+        arrays["data_weights"] = np.asarray(graph.data_weights)
+    if graph.query_weights is not None:
+        arrays["query_weights"] = np.asarray(graph.query_weights)
+    return SharedArrayPack.create(arrays), meta
+
+
+def attach_graph(handle: tuple, meta: dict):
+    """Rebuild a read-only :class:`BipartiteGraph` over shared arrays."""
+    from ..hypergraph.bipartite import BipartiteGraph
+
+    pack = SharedArrayPack.attach(handle)
+    arrays = pack.arrays()
+    graph = BipartiteGraph(
+        num_queries=meta["num_queries"],
+        num_data=meta["num_data"],
+        q_indptr=arrays["q_indptr"],
+        q_indices=arrays["q_indices"],
+        d_indptr=arrays["d_indptr"],
+        d_indices=arrays["d_indices"],
+        data_weights=arrays.get("data_weights"),
+        query_weights=arrays.get("query_weights"),
+        name=meta["name"],
+    )
+    return graph, pack
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(worker_id: int, conn, init: dict) -> None:
+    """Entry point of one worker process: superstep loop over its partition."""
+    graph_pack = None
+    place_pack = None
+    try:
+        program = init["program"]
+        states = init["states"]
+        vids = init["vids"]
+        seed = init["seed"]
+        num_workers = init["num_workers"]
+        combiner = init["combiner"]
+
+        place_pack = SharedArrayPack.attach(init["placement_handle"])
+        place = place_pack.arrays()
+        ids, assignment = place["ids"], place["placement"]
+        if ids.size and np.array_equal(ids, np.arange(ids.size, dtype=ids.dtype)):
+            worker_of = assignment  # contiguous ids: direct array lookup
+        else:
+            worker_of = dict(zip(ids.tolist(), assignment.tolist()))
+
+        if init["graph_handle"] is not None:
+            graph, graph_pack = attach_graph(init["graph_handle"], init["graph_meta"])
+            if hasattr(program, "bind_graph"):
+                program.bind_graph(graph)
+
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "step":
+                _, superstep, broadcasts, inbox_blobs = msg
+                mailboxes: dict[int, list] = {}
+                for blob in inbox_blobs:
+                    for dst, payload in pickle.loads(blob):
+                        mailboxes.setdefault(dst, []).append(payload)
+                result = execute_worker_superstep(
+                    worker_id,
+                    vids,
+                    states,
+                    program,
+                    superstep,
+                    broadcasts,
+                    mailboxes,
+                    seed,
+                    worker_of,
+                    num_workers,
+                    combiner,
+                )
+                # Serialize each outbound batch exactly once; the master
+                # routes the blobs without looking inside.
+                blobs = {
+                    dw: pickle.dumps(batch, protocol=_PICKLE_PROTO)
+                    for dw, batch in result.batches.items()
+                }
+                result.batches = {}
+                conn.send(("ok", result, blobs))
+            elif kind == "collect":
+                conn.send(("states", states))
+            elif kind == "exit":
+                break
+    except EOFError:  # master went away; nothing to report to
+        pass
+    except BaseException as exc:  # ship the failure to the master
+        tb = traceback.format_exc()
+        try:
+            conn.send(("error", exc, tb))
+        except Exception:
+            # The original exception does not survive pickling (custom
+            # __init__ signature, unpicklable attributes, ...): fall back to
+            # a summary that always does, so the master still sees the cause.
+            try:
+                conn.send(
+                    ("error", RuntimeError(f"{type(exc).__name__}: {exc}"), tb)
+                )
+            except Exception:
+                pass
+    finally:
+        if graph_pack is not None:
+            graph_pack.close()
+        if place_pack is not None:
+            # Lookup views into the segment may still be referenced here;
+            # close() tolerates that (BufferError) — the handle goes away
+            # with the process either way, this keeps cleanup symmetric.
+            place_pack.close()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Backend
+# ----------------------------------------------------------------------
+class MultiprocessBackend(Backend):
+    """One OS process per worker; shared-memory graph; barriered supersteps.
+
+    Parameters
+    ----------
+    mp_context:
+        ``"fork"`` (default where available — instant startup) or
+        ``"spawn"`` (portable, true cold-start workers).  Overridable via
+        the ``REPRO_MP_CONTEXT`` environment variable.
+    step_timeout:
+        Seconds to wait for a worker at each barrier before declaring the
+        run dead (guards CI against hung workers).
+    """
+
+    name = "mp"
+
+    def __init__(self, mp_context: str | None = None, step_timeout: float = 600.0):
+        self.mp_context = mp_context or _default_context()
+        self.step_timeout = step_timeout
+        # Per-run state (managed by the _open/_finish/_close hooks; defaults
+        # let _close run safely even when _open failed partway).
+        self._engine = None
+        self._num_workers = 0
+        self._workers: list = []
+        self._conns: list = []
+        self._inboxes: list[list] = []
+        self._placement_pack = None
+        self._graph_pack = None
+
+    # ------------------------------------------------------------------
+    # Backend hooks (the shared superstep driver lives in Backend.run)
+    # ------------------------------------------------------------------
+    def _open(self, engine, program, combiner) -> None:
+        num_workers = engine.cluster.num_workers
+        ctx = mp.get_context(self.mp_context)
+        self._engine = engine
+        self._num_workers = num_workers
+
+        ids = np.fromiter(engine._worker_of.keys(), dtype=np.int64)
+        assignment = np.fromiter(engine._worker_of.values(), dtype=np.int64)
+        order = np.argsort(ids, kind="stable")
+        self._placement_pack = SharedArrayPack.create(
+            {"ids": ids[order], "placement": assignment[order]}
+        )
+
+        self._graph_pack = None
+        graph_handle = None
+        graph_meta = None
+        if engine._graph is not None:
+            self._graph_pack, graph_meta = share_graph(engine._graph)
+            graph_handle = self._graph_pack.handle
+
+        self._workers = []
+        self._conns = []
+        self._inboxes: list[list] = [[] for _ in range(num_workers)]
+        for worker_id in range(num_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            vids = engine._worker_vertices[worker_id]
+            init = {
+                "program": program,
+                "states": {vid: engine._states[vid] for vid in vids},
+                "vids": vids,
+                "seed": engine.seed,
+                "num_workers": num_workers,
+                "combiner": combiner,
+                "placement_handle": self._placement_pack.handle,
+                "graph_handle": graph_handle,
+                "graph_meta": graph_meta,
+            }
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(worker_id, child_conn, init),
+                name=f"repro-worker-{worker_id}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append(proc)
+            self._conns.append(parent_conn)
+
+    def _execute_superstep(self, superstep: int, broadcasts: dict):
+        for worker_id, conn in enumerate(self._conns):
+            conn.send(("step", superstep, broadcasts, self._inboxes[worker_id]))
+        replies = [
+            self._recv(self._conns[w], self._workers[w], w)
+            for w in range(self._num_workers)
+        ]
+        self._inboxes = [[] for _ in range(self._num_workers)]
+        results = []
+        for _, result, blobs in replies:
+            results.append(result)
+            for dst_worker, blob in blobs.items():
+                self._inboxes[dst_worker].append(blob)
+        return results
+
+    def _finish(self) -> dict[int, dict]:
+        # Fold worker-final states back into the caller's own dicts so the
+        # in-place mutation contract matches the simulator exactly.
+        engine_states = self._engine._states
+        for conn in self._conns:
+            conn.send(("collect",))
+        for worker_id, conn in enumerate(self._conns):
+            _, collected = self._recv(conn, self._workers[worker_id], worker_id)
+            for vid, state in collected.items():
+                original = engine_states[vid]
+                original.clear()
+                original.update(state)
+        for conn in self._conns:
+            conn.send(("exit",))
+        for proc in self._workers:
+            proc.join(timeout=30)
+        return engine_states
+
+    def _close(self) -> None:
+        for proc in self._workers:
+            if proc.is_alive():  # pragma: no cover - error-path cleanup
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        self._workers = []
+        self._conns = []
+        if self._placement_pack is not None:
+            self._placement_pack.close()
+            self._placement_pack = None
+        if self._graph_pack is not None:
+            self._graph_pack.close()
+            self._graph_pack = None
+        self._engine = None
+
+    # ------------------------------------------------------------------
+    def _recv(self, conn, proc, worker_id: int):
+        """Receive one barrier message, surfacing worker death or errors."""
+        deadline = time.monotonic() + self.step_timeout
+        while not conn.poll(0.05):
+            if not proc.is_alive():
+                raise RuntimeError(
+                    f"worker {worker_id} exited unexpectedly "
+                    f"(exitcode {proc.exitcode})"
+                )
+            if time.monotonic() > deadline:  # pragma: no cover - hang guard
+                raise TimeoutError(
+                    f"worker {worker_id} missed the superstep barrier "
+                    f"({self.step_timeout:.0f}s)"
+                )
+        try:
+            msg = conn.recv()
+        except (EOFError, ConnectionResetError) as exc:
+            raise RuntimeError(
+                f"worker {worker_id} died at the superstep barrier "
+                f"(exitcode {proc.exitcode}); if the start method is 'spawn', "
+                "the driving script must be importable (run under "
+                "`if __name__ == '__main__':` guards)"
+            ) from exc
+        except Exception as exc:  # payload did not survive unpickling
+            raise RuntimeError(
+                f"worker {worker_id} sent an undecodable message: {exc!r}"
+            ) from exc
+        if msg[0] == "error":
+            _, exc, tb = msg
+            raise exc from RuntimeError(f"worker {worker_id} failed:\n{tb}")
+        return msg

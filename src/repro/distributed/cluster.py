@@ -47,9 +47,17 @@ class ClusterSpec:
     num_workers: int = 4
     machine: MachineSpec = PAPER_MACHINE
 
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+
     @property
     def total_memory_bytes(self) -> int:
         return self.num_workers * self.machine.memory_bytes
+
+    def with_workers(self, num_workers: int) -> "ClusterSpec":
+        """Same machine model, different worker count (speedup sweeps)."""
+        return ClusterSpec(num_workers=num_workers, machine=self.machine)
 
 
 @dataclass(frozen=True)

@@ -5,34 +5,58 @@ compute function over the messages delivered to it, optionally sending
 messages along edges and contributing to global aggregators; a
 synchronization barrier ends the superstep and a master program runs
 between barriers (computing, e.g., SHP's move probabilities).  Vertices are
-distributed across simulated workers by random placement, exactly as
-"Giraph distributes vertices among machines in a Giraph cluster randomly"
+distributed across workers by random placement, exactly as "Giraph
+distributes vertices among machines in a Giraph cluster randomly"
 (Section 3.3) — so per-worker load and communication metering reflect what
 a real deployment would see.
 
-The engine is single-process but *faithful*: vertex programs can only read
-their own state and incoming messages, all cross-vertex communication goes
-through messages, and worker-local versus remote traffic is metered
-separately (local messages model Giraph's same-machine optimization).
+Execution is delegated to a pluggable :class:`~repro.distributed.Backend`:
+
+* :class:`~repro.distributed.SimulatedBackend` (default) runs every worker
+  in-process, sequentially, with full metering — fast to start, fully
+  deterministic, ideal for tests and message-complexity studies.
+* :class:`~repro.distributed.MultiprocessBackend` spawns one OS process per
+  worker, shares immutable graph arrays via ``multiprocessing.shared_memory``
+  and exchanges serialized message batches through per-superstep channels —
+  real parallel wall-clock on one machine.
+
+Both backends run the *same* per-worker superstep code
+(:func:`repro.distributed.backend.execute_worker_superstep`) and are
+bit-identical for a given seed: vertex placement comes from the engine seed,
+and :meth:`VertexContext.random` draws are counter-based — a pure hash of
+``(seed, superstep, vertex, draw index)`` — so they do not depend on the
+order in which vertices happen to execute.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Protocol
 
 import numpy as np
 
 from .cluster import ClusterSpec
-from .messages import Combiner, sizeof_payload
-from .metrics import JobMetrics, SuperstepMetrics
+from .metrics import JobMetrics
 
-__all__ = ["VertexContext", "VertexProgram", "MasterProgram", "GiraphEngine", "JobResult"]
+__all__ = [
+    "VertexContext",
+    "VertexProgram",
+    "MasterProgram",
+    "GiraphEngine",
+    "JobResult",
+]
 
 
 class VertexProgram(Protocol):
-    """User code run by every vertex each superstep."""
+    """User code run by every vertex each superstep.
+
+    Programs must be picklable (the multiprocess backend ships one copy to
+    every worker); per-instance mutable state therefore becomes
+    *worker-local* state under multiprocess execution.  Programs that need
+    the input graph should implement ``bind_graph(graph)`` instead of
+    storing the graph in ``__init__`` — backends call it on each worker
+    after attaching the shared (zero-copy) graph arrays.
+    """
 
     def compute(self, ctx: "VertexContext", vertex_id: int, state: dict, messages: list) -> None:
         """Process ``messages``, mutate ``state``, send via ``ctx``."""
@@ -51,24 +75,64 @@ class MasterProgram(Protocol):
         ...  # pragma: no cover - protocol
 
 
+# ----------------------------------------------------------------------
+# Counter-based randomness (order-independent across backends)
+# ----------------------------------------------------------------------
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+_INV_2_64 = 1.0 / float(1 << 64)
+
+
+def counter_random(seed: int, superstep: int, vid: int, draw: int) -> float:
+    """Uniform draw in [0, 1) from a splitmix64-style hash of the key.
+
+    A pure function of ``(seed, superstep, vid, draw)``: the same vertex
+    gets the same stream no matter which worker runs it or in what order —
+    the property that makes simulated and multiprocess runs bit-identical.
+    """
+    x = (
+        seed * _GOLDEN
+        + (superstep + 1) * _MIX1
+        + (vid + 1) * _MIX2
+        + (draw + 1) * 0xD6E8FEB86659FD93
+    ) & _MASK64
+    x ^= x >> 30
+    x = (x * _MIX1) & _MASK64
+    x ^= x >> 27
+    x = (x * _MIX2) & _MASK64
+    x ^= x >> 31
+    return x * _INV_2_64
+
+
 @dataclass
 class VertexContext:
-    """Per-superstep API handed to vertex programs."""
+    """Per-superstep API handed to vertex programs.
+
+    Self-contained (no engine reference) so the identical context code runs
+    inside worker processes: sends buffer into ``_outbox``, aggregations
+    into ``_aggregates``; the backend drains both at the barrier.
+    """
 
     superstep: int
     worker_id: int
     broadcasts: dict
-    _engine: "GiraphEngine" = field(repr=False, default=None)
+    seed: int = 0
     _ops: int = 0
+    _vid: int = field(default=-1, repr=False)
+    _draws: int = field(default=0, repr=False)
+    _outbox: list = field(default_factory=list, repr=False)
+    _aggregates: dict = field(default_factory=dict, repr=False)
 
     def send(self, dst: int, payload: object) -> None:
         """Send ``payload`` to vertex ``dst`` (delivered next superstep)."""
-        self._engine._enqueue(self.worker_id, dst, payload)
+        self._outbox.append((dst, payload))
         self._ops += 1
 
     def aggregate(self, name: str, key: object, value: float = 1.0) -> None:
         """Add ``value`` under ``key`` to the named global aggregator."""
-        bucket = self._engine._aggregates_next.setdefault(name, {})
+        bucket = self._aggregates.setdefault(name, {})
         bucket[key] = bucket.get(key, 0.0) + value
         self._ops += 1
 
@@ -77,8 +141,15 @@ class VertexContext:
         self._ops += ops
 
     def random(self) -> float:
-        """Deterministic per-run uniform draw (vertex iteration order is fixed)."""
-        return float(self._engine._rng.random())
+        """Deterministic uniform draw, keyed by (seed, superstep, vertex)."""
+        value = counter_random(self.seed, self.superstep, self._vid, self._draws)
+        self._draws += 1
+        return value
+
+    def _begin_vertex(self, vid: int) -> None:
+        self._vid = vid
+        self._draws = 0
+        self._ops += 1
 
 
 @dataclass
@@ -92,25 +163,48 @@ class JobResult:
 
 
 class GiraphEngine:
-    """Simulated Giraph cluster executing vertex-centric programs."""
+    """A Giraph-like cluster executing vertex-centric programs.
 
-    def __init__(self, cluster: ClusterSpec | None = None, seed: int = 0):
+    Parameters
+    ----------
+    cluster:
+        Worker count and machine model (:class:`ClusterSpec`).
+    seed:
+        Controls random vertex placement and all :meth:`VertexContext.random`
+        draws; identical seeds reproduce identical runs on *every* backend.
+    backend:
+        ``"sim"`` (default), ``"mp"``, or a :class:`Backend` instance.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec | None = None,
+        seed: int = 0,
+        backend: "str | object | None" = None,
+    ):
+        from .backend import resolve_backend
+
         self.cluster = cluster or ClusterSpec()
         self.seed = seed
+        self.backend = resolve_backend(backend)
         self._rng = np.random.default_rng(seed)
         self._states: dict[int, dict] = {}
+        self._graph = None
         self._worker_of: dict[int, int] = {}
         self._worker_vertices: list[list[int]] = [[] for _ in range(self.cluster.num_workers)]
-        self._mailboxes: dict[int, list] = {}
-        self._outbox: list[tuple[int, int, object]] = []  # (src_worker, dst_vertex, payload)
-        self._aggregates_next: dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     # Graph loading
     # ------------------------------------------------------------------
-    def load(self, states: dict[int, dict]) -> None:
-        """Install vertex states and place vertices randomly on workers."""
+    def load(self, states: dict[int, dict], graph=None) -> None:
+        """Install vertex states and place vertices randomly on workers.
+
+        ``graph`` optionally attaches a read-only :class:`BipartiteGraph`
+        shared with every worker (zero-copy under the multiprocess backend);
+        programs receive it via ``bind_graph``.
+        """
         self._states = states
+        self._graph = graph
         ids = np.fromiter(states.keys(), dtype=np.int64)
         placement = self._rng.integers(0, self.cluster.num_workers, size=ids.size)
         self._worker_of = dict(zip(ids.tolist(), placement.tolist()))
@@ -119,9 +213,6 @@ class GiraphEngine:
             self._worker_vertices[worker].append(vid)
         for bucket_list in self._worker_vertices:
             bucket_list.sort()
-        self._mailboxes = {}
-        self._outbox = []
-        self._aggregates_next = {}
 
     # ------------------------------------------------------------------
     # Execution
@@ -131,7 +222,7 @@ class GiraphEngine:
         program: VertexProgram,
         master: MasterProgram | None = None,
         max_supersteps: int = 100,
-        combiner: Combiner | None = None,
+        combiner=None,
     ) -> JobResult:
         """Execute supersteps until the master halts or the budget runs out.
 
@@ -139,134 +230,4 @@ class GiraphEngine:
         aggregates, returning broadcasts or ``None`` to halt), then every
         vertex's compute function, then message delivery with metering.
         """
-        metrics = JobMetrics(cluster=self.cluster)
-        start = time.perf_counter()
-        halted = False
-        broadcasts: dict = {}
-        aggregates: dict = {}
-        executed = 0
-        num_workers = self.cluster.num_workers
-
-        for superstep in range(max_supersteps):
-            if master is not None:
-                broadcasts = master.compute(superstep, aggregates)
-                if broadcasts is None:
-                    halted = True
-                    break
-            self._aggregates_next = {}
-            self._outbox = []
-            ops = np.zeros(num_workers, dtype=np.float64)
-            mailboxes = self._mailboxes
-            self._mailboxes = {}
-
-            active = 0
-            for worker_id in range(num_workers):
-                ctx = VertexContext(
-                    superstep=superstep,
-                    worker_id=worker_id,
-                    broadcasts=broadcasts or {},
-                    _engine=self,
-                )
-                for vid in self._worker_vertices[worker_id]:
-                    msgs = mailboxes.get(vid)
-                    ctx._ops += 1
-                    program.compute(ctx, vid, self._states[vid], msgs or [])
-                    if msgs:
-                        active += 1
-                ops[worker_id] += ctx._ops
-
-            step_metrics = self._deliver(superstep, program, ops, combiner, active)
-            metrics.add(step_metrics)
-            aggregates = self._aggregates_next
-            executed += 1
-
-        metrics.wall_seconds = time.perf_counter() - start
-        return JobResult(
-            states=self._states,
-            metrics=metrics,
-            supersteps_run=executed,
-            halted_by_master=halted,
-        )
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _enqueue(self, src_worker: int, dst: int, payload: object) -> None:
-        self._outbox.append((src_worker, dst, payload))
-
-    def _deliver(
-        self,
-        superstep: int,
-        program: VertexProgram,
-        ops: np.ndarray,
-        combiner: Combiner | None,
-        active: int,
-    ) -> SuperstepMetrics:
-        """Route queued messages to next-superstep mailboxes with metering."""
-        num_workers = self.cluster.num_workers
-        messages_local = 0
-        messages_remote = 0
-        bytes_local = 0
-        bytes_remote = 0
-        remote_bytes_per_worker = np.zeros(num_workers, dtype=np.float64)
-        messages_per_worker = np.zeros(num_workers, dtype=np.float64)
-
-        if combiner is not None:
-            grouped: dict[tuple[int, int], list] = {}
-            for src_worker, dst, payload in self._outbox:
-                grouped.setdefault((src_worker, dst), []).append(payload)
-            outbox: list[tuple[int, int, object]] = []
-            for (src_worker, dst), payloads in grouped.items():
-                for payload in combiner.combine(payloads):
-                    outbox.append((src_worker, dst, payload))
-        else:
-            outbox = self._outbox
-
-        for src_worker, dst, payload in outbox:
-            dst_worker = self._worker_of[dst]
-            size = sizeof_payload(payload)
-            messages_per_worker[src_worker] += 1
-            if dst_worker == src_worker:
-                messages_local += 1
-                bytes_local += size
-            else:
-                messages_remote += 1
-                bytes_remote += size
-                remote_bytes_per_worker[src_worker] += size
-                remote_bytes_per_worker[dst_worker] += size
-            self._mailboxes.setdefault(dst, []).append(payload)
-        self._outbox = []
-
-        memory = self._estimate_memory()
-        phase = program.phase_name(superstep) if hasattr(program, "phase_name") else ""
-        return SuperstepMetrics(
-            superstep=superstep,
-            phase=phase,
-            ops_per_worker=ops,
-            messages_local=messages_local,
-            messages_remote=messages_remote,
-            bytes_local=bytes_local,
-            bytes_remote=bytes_remote,
-            remote_bytes_per_worker=remote_bytes_per_worker,
-            messages_per_worker=messages_per_worker,
-            memory_per_worker=memory,
-            active_vertices=active,
-        )
-
-    def _estimate_memory(self) -> np.ndarray:
-        """Per-worker resident bytes: vertex states plus queued messages."""
-        memory = np.zeros(self.cluster.num_workers, dtype=np.float64)
-        for vid, state in self._states.items():
-            memory[self._worker_of[vid]] += _sizeof_state(state)
-        for dst, payloads in self._mailboxes.items():
-            worker = self._worker_of[dst]
-            for payload in payloads:
-                memory[worker] += sizeof_payload(payload)
-        return memory
-
-
-def _sizeof_state(state: dict) -> int:
-    total = 64  # object overhead
-    for value in state.values():
-        total += sizeof_payload(value)
-    return total
+        return self.backend.run(self, program, master, max_supersteps, combiner)

@@ -63,7 +63,12 @@ def _scalar_gain_fns(objective_name: str, p: float, splits_ahead: float):
 
 
 class _SHPVertexProgram:
-    """Vertex compute function for both query and data vertices."""
+    """Vertex compute function for both query and data vertices.
+
+    The program is graph-free until a backend calls :meth:`bind_graph` —
+    under multiprocess execution each worker binds the shared (zero-copy)
+    CSR arrays locally, so adjacency never travels through pickles.
+    """
 
     def __init__(self, num_data: int, config: SHPConfig, binning: GainBinning, mode: str):
         self.num_data = num_data
@@ -75,6 +80,24 @@ class _SHPVertexProgram:
         # of the same bucket on the same worker alternate children, keeping
         # the split balanced to within ±(workers/2) instead of binomial drift.
         self._descent_parity: dict[tuple[int, int], int] = {}
+        self._graph = None
+        self._adj_cache: dict[int, np.ndarray] = {}
+
+    def bind_graph(self, graph) -> None:
+        """Attach the (read-only) bipartite graph; called by the backend."""
+        self._graph = graph
+        self._adj_cache = {}
+
+    def _adjacency(self, vid: int) -> np.ndarray:
+        """Engine-id neighbors of ``vid`` (queries offset by ``num_data``)."""
+        adj = self._adj_cache.get(vid)
+        if adj is None:
+            if vid < self.num_data:
+                adj = (self._graph.data_neighbors(vid) + self.num_data).astype(np.int64)
+            else:
+                adj = self._graph.query_neighbors(vid - self.num_data).astype(np.int64)
+            self._adj_cache[vid] = adj
+        return adj
 
     def phase_name(self, superstep: int) -> str:
         return _PHASES[superstep % 4]
@@ -102,9 +125,10 @@ class _SHPVertexProgram:
                 state["qdata"] = {}
             delta = state.pop("delta", None)
             if delta is not None:
-                for q in state["adj"]:
+                adj = self._adjacency(state["vid"])
+                for q in adj:
                     ctx.send(int(q), ("d", delta[0], delta[1]))
-                ctx.charge(len(state["adj"]))
+                ctx.charge(len(adj))
         elif phase == 2:
             for payload in messages:
                 state["qdata"][payload[1]] = (payload[2], payload[3])
@@ -190,9 +214,10 @@ class _SHPVertexProgram:
         if dirty:
             vid_self = state["vid"]
             weight = state.get("weight", 1.0)
-            for data_vertex in state["adj"]:
+            adj = self._adjacency(vid_self)
+            for data_vertex in adj:
                 ctx.send(int(data_vertex), ("q", vid_self, weight, dict(neighbor_data)))
-            ctx.charge(len(state["adj"]) * max(1, len(neighbor_data)))
+            ctx.charge(len(adj) * max(1, len(neighbor_data)))
 
 
 class _SHPMaster:
@@ -339,16 +364,24 @@ class DistributedSHPResult:
     supersteps: int
     halted_by_master: bool
     moved_history: list[int] = field(default_factory=list)
+    backend: str = "sim"
 
 
 class DistributedSHP:
-    """Run SHP as a vertex-centric job on the simulated Giraph cluster."""
+    """Run SHP as a vertex-centric job on a Giraph-like cluster.
+
+    ``backend`` selects the execution substrate: ``"sim"`` (in-process
+    simulation, the default), ``"mp"`` (one OS process per worker), or any
+    :class:`repro.distributed.Backend` instance.  Given the same config and
+    graph, every backend produces bit-identical assignments.
+    """
 
     def __init__(
         self,
         config: SHPConfig,
         cluster: ClusterSpec | None = None,
         mode: str = "2",
+        backend=None,
     ):
         if mode not in ("2", "k"):
             raise ValueError("mode must be '2' or 'k'")
@@ -357,6 +390,7 @@ class DistributedSHP:
         self.config = config
         self.cluster = cluster or ClusterSpec()
         self.mode = mode
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def run(
@@ -372,12 +406,14 @@ class DistributedSHP:
         else:
             assignment = np.asarray(initial, dtype=np.int32).copy()
 
+        # States carry no adjacency: programs read the (shared, read-only)
+        # graph through ``bind_graph``, so worker partitions stay small and
+        # the CSR arrays are never pickled into worker processes.
         states: dict[int, dict] = {}
         for v in range(num_data):
             states[v] = {
                 "kind": 0,
                 "vid": v,
-                "adj": (graph.data_neighbors(v) + num_data).astype(np.int64),
                 "bucket": int(assignment[v]),
                 "qdata": {},
                 "delta": (None, int(assignment[v])),
@@ -389,7 +425,6 @@ class DistributedSHP:
             states[num_data + q] = {
                 "kind": 1,
                 "vid": num_data + q,
-                "adj": graph.query_neighbors(q).astype(np.int64),
                 "nd": {},
                 "weight": 1.0 if query_weights is None else float(query_weights[q]),
             }
@@ -403,8 +438,8 @@ class DistributedSHP:
         max_supersteps = 4 * (budget + 2) * levels + 8
         master = _SHPMaster(num_data, config, binning, self.mode, budget)
 
-        engine = GiraphEngine(cluster=self.cluster, seed=config.seed)
-        engine.load(states)
+        engine = GiraphEngine(cluster=self.cluster, seed=config.seed, backend=self.backend)
+        engine.load(states, graph=graph)
         job = engine.run(program, master=master, max_supersteps=max_supersteps)
 
         final = np.empty(num_data, dtype=np.int32)
@@ -419,4 +454,5 @@ class DistributedSHP:
             supersteps=job.supersteps_run,
             halted_by_master=job.halted_by_master,
             moved_history=master.moved_history,
+            backend=engine.backend.name,
         )

@@ -52,7 +52,6 @@ def darwini_friendship_edges(
         np.arange(num_users, dtype=np.int64) // clique_size, num_groups - 1
     )
     local_budget = np.maximum(0, (degrees * clustering)).astype(np.int64)
-    total_local = int(local_budget.sum())
     src_local = np.repeat(np.arange(num_users, dtype=np.int64), local_budget)
     # Pick partners uniformly within the same group: map a random group-member
     # slot back to a user id via a per-group index.

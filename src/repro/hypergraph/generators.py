@@ -200,13 +200,11 @@ def web_host_bipartite(
     )
     dst[global_idx] = zipf_target
     perm = rng.permutation(num_pages)
-    src_p = perm[src]
     dst_p = perm[dst]
     self_pin = perm[np.arange(num_pages, dtype=np.int64)]
     q = np.concatenate([src, np.arange(num_pages, dtype=np.int64)])
     d = np.concatenate([dst_p, self_pin])
     # Query ids follow the *unpermuted* page index; pins are permuted ids.
-    del src_p
     return BipartiteGraph.from_edges(
         q, d, num_queries=num_pages, num_data=num_pages, name=name
     ).remove_small_queries()

@@ -101,5 +101,5 @@ class TestCompareCommand:
         path, _ = graph_file
         main(["compare", str(path), "-k", "4", "--algorithms", "random", "shp-2"])
         out = capsys.readouterr().out
-        data_rows = [l for l in out.splitlines() if "|" in l][1:]  # skip header
+        data_rows = [line for line in out.splitlines() if "|" in line][1:]  # skip header
         assert "shp-2" in data_rows[0]  # optimized result listed first

@@ -53,7 +53,6 @@ class TestProtocolCorrectness:
         config = dist_config
         job = DistributedSHP(config, mode="2")
         # Re-run retaining engine states via the job internals.
-        import repro.distributed_shp.job as job_module
 
         result = job.run(small_graph)
         counts = bucket_counts(small_graph, result.assignment, 2 ** 3)

@@ -166,3 +166,60 @@ class TestLemma2:
         # gain_pf = p² gain_cn + O(p³ · degree³)
         scaled = pf_gains / p**2
         assert np.allclose(scaled, cn_gains, atol=0.05)
+
+
+class TestDataQueryMatrixCache:
+    """The incidence-matrix cache must track the arrays it was built from."""
+
+    def _graph(self):
+        return BipartiteGraph.from_hyperedges(
+            [[0, 1, 2], [1, 2, 3], [0, 3]], num_data=4, name="cache"
+        )
+
+    def test_cache_hit_on_unchanged_graph(self):
+        from repro.core.gains import data_query_matrix
+
+        graph = self._graph()
+        first = data_query_matrix(graph)
+        assert data_query_matrix(graph) is first
+
+    def test_cache_invalidated_when_arrays_rebound(self):
+        from repro.core.gains import data_query_matrix
+
+        graph = self._graph()
+        stale = data_query_matrix(graph)
+        other = BipartiteGraph.from_hyperedges([[0, 1], [2, 3]], num_data=4)
+        # Re-using a graph object as a container for different topology
+        # (outside the immutability contract, but must not corrupt gains).
+        graph.d_indptr = other.d_indptr
+        graph.d_indices = other.d_indices
+        graph.q_indptr = other.q_indptr
+        graph.q_indices = other.q_indices
+        graph.num_queries = other.num_queries
+        rebuilt = data_query_matrix(graph)
+        assert rebuilt is not stale
+        assert rebuilt.nnz == other.d_indices.size
+        assert rebuilt.shape == (4, other.num_queries)
+
+    def test_cache_immune_to_array_id_reuse(self):
+        """Freed arrays' ids get recycled by numpy; the cache must not be
+        fooled into serving a matrix built from a dead array's topology."""
+        from repro.core.gains import data_query_matrix
+
+        graph = self._graph()
+        topologies = [[[0, 1], [2, 3]], [[0, 2], [1, 3]], [[0, 3], [1, 2]]]
+        for i in range(12):
+            other = BipartiteGraph.from_hyperedges(
+                topologies[i % len(topologies)], num_data=4
+            )
+            graph.d_indptr = other.d_indptr
+            graph.d_indices = other.d_indices
+            graph.q_indptr = other.q_indptr
+            graph.q_indices = other.q_indices
+            graph.num_queries = other.num_queries
+            matrix = data_query_matrix(graph)
+            expected = np.zeros((4, other.num_queries))
+            for q in range(other.num_queries):
+                for v in other.query_neighbors(q):
+                    expected[v, q] = 1.0
+            assert np.array_equal(matrix.toarray(), expected), i

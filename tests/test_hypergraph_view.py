@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hypergraph import BipartiteGraph, Hypergraph
+from repro.hypergraph import Hypergraph
 
 
 class TestHypergraphFacade:

@@ -8,7 +8,7 @@ import pytest
 from repro import SHPConfig, incremental_update, partition_multidim, shp_2
 from repro.core import churn, merge_buckets_balanced
 from repro.hypergraph import community_bipartite
-from repro.objectives import average_fanout, imbalance
+from repro.objectives import average_fanout
 
 
 class TestChurn:
