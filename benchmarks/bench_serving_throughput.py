@@ -1,0 +1,74 @@
+"""Serving-layer throughput: batched vs loop traffic replay.
+
+The serving simulator's affordability rests on the batched replay planner:
+one flat gather + one sort + one vectorized lognormal pass for the whole
+trace, against the reference path's per-query Python loop.  This bench
+replays an identical Zipf trace (100k queries at full scale) through both
+paths on a Darwini-like friendship workload and reports replayed
+queries/sec, pinning the counters as bitwise-identical and the batch path
+at >= 20x the loop throughput (the ISSUE 2 acceptance bar).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import smoke_mode
+
+from repro import shp_2
+from repro.bench import format_table, record
+from repro.hypergraph import darwini_bipartite
+from repro.sharding import LatencyModel, replay_traffic
+from repro.workloads import sample_queries
+
+NUM_SERVERS = 40
+
+
+def _throughput():
+    num_users = 2000 if smoke_mode() else 8000
+    num_queries = 5_000 if smoke_mode() else 100_000
+    graph = darwini_bipartite(num_users, avg_degree=30, clustering=0.4, seed=31)
+    trace = sample_queries(graph, num_queries, skew=0.8, seed=32)
+    assignment = shp_2(graph, NUM_SERVERS, seed=33).assignment
+    model = LatencyModel(base_ms=1.0, sigma=1.0, size_ms_per_record=0.02)
+
+    timings = {}
+    results = {}
+    for method in ("loop", "batch"):
+        start = time.perf_counter()
+        results[method] = replay_traffic(
+            graph, assignment, NUM_SERVERS, trace, model, seed=34, method=method
+        )
+        timings[method] = time.perf_counter() - start
+
+    rows = [
+        {
+            "path": method,
+            "queries": num_queries,
+            "sec": round(timings[method], 3),
+            "queries/sec": int(num_queries / timings[method]),
+        }
+        for method in ("loop", "batch")
+    ]
+    speedup = timings["loop"] / timings["batch"]
+    return rows, speedup, results
+
+
+def test_serving_throughput(benchmark):
+    rows, speedup, results = benchmark.pedantic(_throughput, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        title=f"traffic replay throughput, batch = {speedup:.0f}x loop",
+    )
+    record("serving_throughput", text, data={"rows": rows, "speedup": speedup})
+
+    # Both paths must agree exactly on every counter the figures are built from.
+    loop, batch = results["loop"], results["batch"]
+    assert np.array_equal(loop.fanouts, batch.fanouts)
+    assert np.array_equal(loop.records, batch.records)
+    assert loop.requests_total == batch.requests_total
+    assert loop.records_total == batch.records_total
+    # Full scale: >= 20x (acceptance bar).  Smoke shrinks the trace 20x, so
+    # fixed overheads weigh more; still require a decisive win.
+    assert speedup >= (5.0 if smoke_mode() else 20.0)

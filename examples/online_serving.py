@@ -1,0 +1,55 @@
+"""Online serving: churn, migration budgets, and the cost of staleness.
+
+The paper's production argument (Section 5) is that a shard map must be
+*maintained*, not recomputed: the social graph drifts, traffic keeps
+arriving, and every migrated record costs real I/O.  This example runs the
+serving loop — sample Zipf traffic, replay it against the sharded KV store,
+drift the workload, repair the partition within a migration budget,
+re-replay — at three budgets, showing the staleness-vs-migration dial.
+
+Run:  python examples/online_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.hypergraph import darwini_bipartite
+from repro.sharding import LatencyModel
+from repro.workloads import ServingConfig, ServingSimulator
+
+NUM_SERVERS = 16
+
+
+def main() -> None:
+    graph = darwini_bipartite(3000, avg_degree=25, clustering=0.4, seed=5)
+    print(f"workload: {graph}\n")
+    model = LatencyModel(base_ms=1.0, sigma=1.0, size_ms_per_record=0.02)
+
+    for budget in (0.02, 0.10, 0.50):
+        config = ServingConfig(
+            num_servers=NUM_SERVERS,
+            rounds=3,
+            queries_per_round=1500,
+            churn_fraction=0.08,
+            migration_budget=budget,
+            repair_iterations=8,
+            seed=11,
+        )
+        outcome = ServingSimulator(graph, config, latency_model=model).run()
+        print(f"migration budget {100 * budget:.0f}% per round:")
+        print(f"  {'round':>5s} {'churn %':>8s} {'stale fanout':>13s} {'fanout':>7s} {'mean lat':>9s}")
+        for report in outcome.rounds:
+            print(
+                f"  {report.round_index:5d} {100 * report.churn:8.1f} "
+                f"{report.stale_fanout:13.2f} {report.fanout:7.2f} "
+                f"{report.latency_ms:8.2f}t"
+            )
+        print(f"  total migrated: {outcome.total_migrated()} of {graph.num_data} records\n")
+
+    print("A tight budget keeps migrations near zero but lets fanout decay with")
+    print("churn; a loose one re-earns the fresh-partition fanout every round at")
+    print("the price of resharding traffic. The paper's production deployments")
+    print("sit in between (Section 5, requirement (i)).")
+
+
+if __name__ == "__main__":
+    main()

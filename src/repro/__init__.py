@@ -26,7 +26,8 @@ Package layout
     Comparison partitioners (random, hash, label propagation, multilevel FM,
     Parkway-like parallel multilevel, spectral) and the Table 3 resource model.
 ``repro.sharding`` / ``repro.workloads``
-    Storage-sharding simulator: KV store, latency model, traffic replay.
+    Storage-sharding simulator: KV store, latency model, batched traffic
+    replay, and the online serving loop (churn → budgeted repair → replay).
 ``repro.bench``
     Experiment harness regenerating every table and figure.
 """
@@ -35,6 +36,7 @@ from .core import (
     SHP2Partitioner,
     SHPConfig,
     SHPKPartitioner,
+    budgeted_incremental_update,
     incremental_update,
     partition_multidim,
     shp_2,
@@ -63,6 +65,7 @@ __all__ = [
     "shp_k",
     "shp_2",
     "incremental_update",
+    "budgeted_incremental_update",
     "partition_multidim",
     "load_dataset",
     "average_fanout",

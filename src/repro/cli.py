@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``):
     repro evaluate INPUT.hgr assignment.txt -k 16
     repro compare INPUT.hgr -k 16
     repro generate soc-Pokec --scale 0.01 -o pokec.hgr
+    repro serve-sim --servers 16 --rounds 3 --queries 2000
     repro datasets
 
 Input formats are detected from the extension: ``.hgr`` (hMetis), ``.tsv``
@@ -156,6 +157,49 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    """Run the online serving loop: replay → churn → in-budget repair → replay."""
+    from .sharding import LatencyModel
+    from .workloads import ServingConfig, ServingSimulator
+
+    if args.input:
+        graph = _load_graph(args.input).remove_small_queries()
+    else:
+        from .hypergraph import darwini_bipartite
+
+        graph = darwini_bipartite(
+            args.users, avg_degree=args.avg_degree, clustering=0.4, seed=args.seed
+        )
+        print(f"generated Darwini-like workload: {graph}")
+    config = ServingConfig(
+        num_servers=args.servers,
+        rounds=args.rounds,
+        queries_per_round=args.queries,
+        skew=args.skew,
+        churn_fraction=args.churn,
+        migration_budget=args.budget,
+        repair_iterations=args.repair_iterations,
+        method=args.method,
+        seed=args.seed,
+    )
+    model = LatencyModel(base_ms=1.0, sigma=1.0, size_ms_per_record=0.02)
+    outcome = ServingSimulator(graph, config, latency_model=model).run()
+    print(
+        format_table(
+            outcome.rows(),
+            title=(
+                f"serving loop on {graph.name or 'workload'} — {args.servers} servers, "
+                f"{100 * args.churn:.0f}% churn/round, {100 * args.budget:.0f}% migration budget"
+            ),
+        )
+    )
+    print(
+        f"total records migrated across {args.rounds} rounds: "
+        f"{outcome.total_migrated()} of {graph.num_data}"
+    )
+    return 0
+
+
 def _cmd_datasets(_: argparse.Namespace) -> int:
     rows = [
         {
@@ -228,6 +272,34 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--seed", type=int, default=0)
     g.add_argument("-o", "--output", required=True, help="output file (.hgr / .tsv / .npz)")
     g.set_defaults(func=_cmd_generate)
+
+    s = sub.add_parser(
+        "serve-sim",
+        help="online serving loop: traffic replay + graph churn + incremental repair",
+    )
+    s.add_argument(
+        "input", nargs="?", default=None,
+        help="graph file (.hgr / .tsv / .npz); omitted = generate a Darwini workload",
+    )
+    s.add_argument("--users", type=int, default=4000,
+                   help="users in the generated workload (no input file; default: 4000)")
+    s.add_argument("--avg-degree", type=int, default=30,
+                   help="average friend count in the generated workload (default: 30)")
+    s.add_argument("--servers", type=int, default=16, help="storage servers (default: 16)")
+    s.add_argument("--rounds", type=int, default=3, help="serving rounds (default: 3)")
+    s.add_argument("--queries", type=int, default=2000,
+                   help="sampled queries per round (default: 2000)")
+    s.add_argument("--skew", type=float, default=0.8, help="Zipf traffic skew (default: 0.8)")
+    s.add_argument("--churn", type=float, default=0.05,
+                   help="fraction of queries rewired per round (default: 0.05)")
+    s.add_argument("--budget", type=float, default=0.10,
+                   help="migration budget: max fraction of records moved per repair (default: 0.10)")
+    s.add_argument("--repair-iterations", type=int, default=15,
+                   help="refinement iterations per incremental repair (default: 15)")
+    s.add_argument("--method", default="2", choices=["2", "k"],
+                   help="incremental repair driver (default: shp-2)")
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(func=_cmd_serve_sim)
 
     d = sub.add_parser("datasets", help="list the dataset registry")
     d.set_defaults(func=_cmd_datasets)

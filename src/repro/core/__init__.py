@@ -3,7 +3,12 @@
 from .config import SHPConfig
 from .gains import best_moves, data_query_matrix, move_gains_dense
 from .histograms import GainBinning
-from .incremental import IncrementalOutcome, churn, incremental_update
+from .incremental import (
+    IncrementalOutcome,
+    budgeted_incremental_update,
+    churn,
+    incremental_update,
+)
 from .multidim import MultiDimResult, merge_buckets_balanced, partition_multidim
 from .persistence import load_result, save_result
 from .partition import (
@@ -46,6 +51,7 @@ __all__ = [
     "save_result",
     "load_result",
     "incremental_update",
+    "budgeted_incremental_update",
     "IncrementalOutcome",
     "churn",
     "partition_multidim",

@@ -19,7 +19,12 @@ from .result import PartitionResult
 from .shp_2 import SHP2Partitioner
 from .shp_k import SHPKPartitioner
 
-__all__ = ["IncrementalOutcome", "incremental_update", "churn"]
+__all__ = [
+    "IncrementalOutcome",
+    "incremental_update",
+    "budgeted_incremental_update",
+    "churn",
+]
 
 
 @dataclass(frozen=True)
@@ -67,3 +72,38 @@ def incremental_update(
         churn=fraction,
         moved_vertices=int((previous != result.assignment).sum()),
     )
+
+
+def budgeted_incremental_update(
+    graph: BipartiteGraph,
+    previous: np.ndarray,
+    config: SHPConfig,
+    budget: float,
+    method: str = "k",
+    penalty_growth: float = 4.0,
+    max_attempts: int = 4,
+) -> IncrementalOutcome:
+    """Re-optimize under a migration budget (max fraction of records moved).
+
+    Production reshards pay per record moved, so the serving loop wants
+    "repair as much quality as a ``budget`` fraction of migrations buys".
+    Runs :func:`incremental_update` and, while the realized churn exceeds
+    the budget, escalates ``move_penalty`` by ``penalty_growth`` and
+    retries (up to ``max_attempts`` runs).  Returns the first outcome
+    within budget, or the lowest-churn attempt seen if none fits — callers
+    should treat ``outcome.churn`` as authoritative.
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    attempt_config = config
+    best: IncrementalOutcome | None = None
+    for _ in range(max(1, max_attempts)):
+        outcome = incremental_update(graph, previous, attempt_config, method=method)
+        if best is None or outcome.churn < best.churn:
+            best = outcome
+        if outcome.churn <= budget:
+            return outcome
+        attempt_config = attempt_config.with_(
+            move_penalty=max(attempt_config.move_penalty, 0.01) * penalty_growth
+        )
+    return best

@@ -46,7 +46,14 @@ __all__ = [
 
 @dataclass
 class SwapDecision:
-    """Outcome of one matching round."""
+    """Outcome of one matching round.
+
+    ``matched_swaps`` counts moves granted through pairwise (bidirectional)
+    matching; ``extra_moves`` counts the one-directional relocations granted
+    out of the ε-imbalance capacity.  Both are the master's *grants* — with
+    ``damping < 1`` or ``swap_mode="bernoulli"`` the realized ``move`` mask
+    may contain fewer moves.
+    """
 
     move: np.ndarray  # bool per proposal, aligned with the inputs
     matched_swaps: int = 0
@@ -104,7 +111,8 @@ def match_histogram_cells(
     caps: np.ndarray,
     binning: GainBinning,
     include_extras: bool = True,
-) -> np.ndarray:
+    return_extras: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """Decide how many movers of each histogram cell may relocate.
 
     A *cell* is a (source bucket, target bucket, gain bin) triple with the
@@ -115,10 +123,13 @@ def match_histogram_cells(
     move one-directionally into buckets with spare ε capacity.
 
     Returns the allowed move count per cell, aligned with the input order.
+    With ``return_extras=True`` additionally returns the per-cell count of
+    ε-capacity extras (a subset of the allowed counts), same alignment.
     """
     num_cells = cell_src.size
     if num_cells == 0:
-        return np.zeros(0, dtype=np.int64)
+        empty = np.zeros(0, dtype=np.int64)
+        return (empty, empty.copy()) if return_extras else empty
     cell_src = np.asarray(cell_src, dtype=np.int64)
     cell_dst = np.asarray(cell_dst, dtype=np.int64)
     cell_bin = np.asarray(cell_bin, dtype=np.int64)
@@ -179,6 +190,10 @@ def match_histogram_cells(
     allowed_sorted = matched_cell + extra_cell
     allowed = np.empty(num_cells, dtype=np.int64)
     allowed[order] = allowed_sorted
+    if return_extras:
+        extras = np.empty(num_cells, dtype=np.int64)
+        extras[order] = extra_cell
+        return allowed, extras
     return allowed
 
 
@@ -292,7 +307,14 @@ class UniformMatcher:
         reverse_counts = np.where(pos_valid, counts[pos_clip], 0)
         matched = np.minimum(counts, reverse_counts).astype(np.float64) * self.damping
         if self.swap_mode == "strict":
-            quota = _stochastic_round(matched, rng)
+            # Round once per unordered pair and reuse the quota in both
+            # directions: rounding the i→j and j→i quotas independently
+            # drifts bucket sizes whenever damping < 1.
+            forward = unique_keys <= reverse_key
+            quota = np.zeros(unique_keys.size, dtype=np.int64)
+            quota[forward] = _stochastic_round(matched[forward], rng)
+            mirror = ~forward & pos_valid
+            quota[mirror] = quota[pos_clip[mirror]]
             chosen = _select_per_cell(cell_of, quota, rng)
         else:
             prob = matched / counts
@@ -356,10 +378,12 @@ class HistogramMatcher:
         cell_dst = pair_part % k
         cell_bin = self.binning.key_to_bin(unique_cells % num_ids)
 
-        allowed = match_histogram_cells(
-            cell_src, cell_dst, cell_bin, cell_count, k, sizes, caps, self.binning
+        allowed, extras = match_histogram_cells(
+            cell_src, cell_dst, cell_bin, cell_count, k, sizes, caps, self.binning,
+            return_extras=True,
         )
         matched_total = int(allowed.sum())
+        extras_total = int(extras.sum())
         if self.damping < 1.0:
             allowed = _stochastic_round(allowed * self.damping, rng)
 
@@ -378,7 +402,7 @@ class HistogramMatcher:
         }
         return SwapDecision(
             move=move,
-            matched_swaps=matched_total,
-            extra_moves=max(0, matched_total - int(move.sum())),
+            matched_swaps=matched_total - extras_total,
+            extra_moves=extras_total,
             table=table,
         )

@@ -46,6 +46,25 @@ class LatencyModel:
             return 0.0
         return float(self.draw(rng, records_per_server).max())
 
+    def multiget_batch(
+        self,
+        rng: np.random.Generator,
+        records_per_request: np.ndarray,
+        request_starts: np.ndarray,
+    ) -> np.ndarray:
+        """Latencies of many multi-gets from one vectorized lognormal pass.
+
+        ``records_per_request`` concatenates every query's per-server record
+        counts; ``request_starts[i]`` is the offset of query ``i``'s first
+        request (segments contiguous and non-empty).  Returns one latency
+        per query — the max over its parallel per-request draws — matching
+        :meth:`multiget` in distribution while drawing all requests at once.
+        """
+        if request_starts.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        draws = self.draw(rng, records_per_request)
+        return np.maximum.reduceat(draws, request_starts)
+
     def fanout_latency_matrix(
         self, rng: np.random.Generator, fanout: int, trials: int
     ) -> np.ndarray:

@@ -6,11 +6,24 @@ traffic pattern of multi-get queries, and record each query's fanout and
 latency.  Aggregations by fanout produce the percentile-vs-fanout curves;
 summary statistics give the random-vs-SHP sharding comparison ("2x lower
 average latency", §4.2.1).
+
+Two execution paths share one contract:
+
+* ``method="batch"`` (default) — the vectorized planner: gather every
+  sampled query's neighbor list into one flat (query, server) array, group
+  it with a single sort + segmented reduction
+  (:meth:`ShardedKVStore.plan_multiget_batch`), and draw all per-request
+  latencies in one lognormal pass (:meth:`LatencyModel.multiget_batch`).
+* ``method="loop"`` — the reference implementation, one query at a time.
+
+Both produce bitwise-identical fanout / request / record counters (pinned
+by ``tests/test_serving.py``); only the latency *draws* differ (same
+distribution, different RNG consumption order).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -23,37 +36,74 @@ __all__ = ["QuerySample", "ReplayResult", "replay_traffic", "latency_by_fanout"]
 
 @dataclass(frozen=True)
 class QuerySample:
-    """One multi-get observation."""
+    """One multi-get observation (row view into a :class:`ReplayResult`)."""
 
     fanout: int
     latency_ms: float
     num_records: int
 
 
-@dataclass
 class ReplayResult:
-    """All samples from one traffic replay plus store-side load counters."""
+    """All samples from one traffic replay plus store-side load counters.
 
-    samples: list[QuerySample] = field(default_factory=list)
-    requests_total: int = 0
-    records_total: int = 0
+    Struct-of-arrays: ``fanouts`` / ``latencies`` / ``records`` are parallel
+    arrays with one entry per replayed (non-empty) query, in trace order.
+    The ``samples`` property materializes the legacy row-oriented view.
+    """
+
+    def __init__(
+        self,
+        fanouts: np.ndarray | None = None,
+        latencies: np.ndarray | None = None,
+        records: np.ndarray | None = None,
+        requests_total: int = 0,
+        records_total: int = 0,
+    ):
+        self.fanouts = (
+            np.asarray(fanouts, dtype=np.int64)
+            if fanouts is not None
+            else np.empty(0, dtype=np.int64)
+        )
+        self.latencies = (
+            np.asarray(latencies, dtype=np.float64)
+            if latencies is not None
+            else np.empty(0, dtype=np.float64)
+        )
+        self.records = (
+            np.asarray(records, dtype=np.int64)
+            if records is not None
+            else np.empty(0, dtype=np.int64)
+        )
+        self.requests_total = requests_total
+        self.records_total = records_total
 
     @property
-    def fanouts(self) -> np.ndarray:
-        return np.array([s.fanout for s in self.samples], dtype=np.int64)
+    def num_samples(self) -> int:
+        return int(self.fanouts.size)
 
     @property
-    def latencies(self) -> np.ndarray:
-        return np.array([s.latency_ms for s in self.samples], dtype=np.float64)
+    def samples(self) -> tuple[QuerySample, ...]:
+        # A tuple, not a list: the arrays are the source of truth, so
+        # mutating this materialized view (e.g. .append) must fail loudly.
+        return tuple(
+            QuerySample(fanout=int(f), latency_ms=float(lat), num_records=int(r))
+            for f, lat, r in zip(self.fanouts, self.latencies, self.records)
+        )
+
+    @samples.setter
+    def samples(self, values: list[QuerySample]) -> None:
+        self.fanouts = np.array([s.fanout for s in values], dtype=np.int64)
+        self.latencies = np.array([s.latency_ms for s in values], dtype=np.float64)
+        self.records = np.array([s.num_records for s in values], dtype=np.int64)
 
     def mean_fanout(self) -> float:
-        return float(self.fanouts.mean()) if self.samples else 0.0
+        return float(self.fanouts.mean()) if self.fanouts.size else 0.0
 
     def mean_latency(self) -> float:
-        return float(self.latencies.mean()) if self.samples else 0.0
+        return float(self.latencies.mean()) if self.latencies.size else 0.0
 
     def latency_percentile(self, p: float) -> float:
-        return float(np.percentile(self.latencies, p)) if self.samples else 0.0
+        return float(np.percentile(self.latencies, p)) if self.latencies.size else 0.0
 
     def cpu_proxy(self, ms_per_request: float = 0.05, ms_per_record: float = 0.002) -> float:
         """Storage-tier CPU model: fixed cost per request + per record.
@@ -63,6 +113,12 @@ class ReplayResult:
         """
         return ms_per_request * self.requests_total + ms_per_record * self.records_total
 
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplayResult(n={self.num_samples}, requests={self.requests_total}, "
+            f"records={self.records_total})"
+        )
+
 
 def replay_traffic(
     graph: BipartiteGraph,
@@ -71,24 +127,92 @@ def replay_traffic(
     query_ids: np.ndarray,
     latency_model: LatencyModel | None = None,
     seed: int = 0,
+    method: str = "batch",
 ) -> ReplayResult:
-    """Replay ``query_ids`` as multi-gets against the sharded store."""
+    """Replay ``query_ids`` as multi-gets against the sharded store.
+
+    ``method="batch"`` runs the vectorized planner (default);
+    ``method="loop"`` runs the per-query reference path.  Counters and
+    per-sample fanout/record arrays are identical between the two.
+    """
     model = latency_model or LatencyModel()
     rng = np.random.default_rng(seed)
     store = ShardedKVStore(num_servers=num_servers, assignment=assignment)
-    result = ReplayResult()
-    for q in np.asarray(query_ids, dtype=np.int64).tolist():
+    queries = np.asarray(query_ids, dtype=np.int64)
+    if method == "batch":
+        return _replay_batch(graph, store, queries, model, rng)
+    if method == "loop":
+        return _replay_loop(graph, store, queries, model, rng)
+    raise ValueError("method must be 'batch' or 'loop'")
+
+
+def _replay_batch(
+    graph: BipartiteGraph,
+    store: ShardedKVStore,
+    query_ids: np.ndarray,
+    model: LatencyModel,
+    rng: np.random.Generator,
+) -> ReplayResult:
+    """One flat gather + one sort + one lognormal pass for the whole trace."""
+    degrees = graph.q_indptr[query_ids + 1] - graph.q_indptr[query_ids]
+    keep = degrees > 0  # empty queries produce no requests (loop path skips them)
+    queries = query_ids[keep]
+    degrees = degrees[keep].astype(np.int64)
+    num_queries = int(queries.size)
+    if num_queries == 0:
+        return ReplayResult()
+    # Flat gather: entry t of the batch is neighbor (t - offsets[slot]) of
+    # its query slot, located at q_indptr[query] + that local index.
+    offsets = np.concatenate(([0], np.cumsum(degrees)))
+    flat = (
+        np.arange(offsets[-1], dtype=np.int64)
+        - np.repeat(offsets[:-1], degrees)
+        + np.repeat(graph.q_indptr[queries], degrees)
+    )
+    keys = graph.q_indices[flat]
+    slot_of_key = np.repeat(np.arange(num_queries, dtype=np.int64), degrees)
+    req_query, _, req_records = store.plan_multiget_batch(keys, slot_of_key)
+    # Requests arrive grouped by slot; segment boundaries give per-query fanout.
+    first = np.ones(req_query.size, dtype=bool)
+    first[1:] = req_query[1:] != req_query[:-1]
+    request_starts = np.flatnonzero(first)
+    fanouts = np.diff(np.concatenate((request_starts, [req_query.size])))
+    latencies = model.multiget_batch(rng, req_records, request_starts)
+    return ReplayResult(
+        fanouts=fanouts,
+        latencies=latencies,
+        records=degrees,
+        requests_total=int(store.requests_per_server.sum()),
+        records_total=int(store.records_per_server.sum()),
+    )
+
+
+def _replay_loop(
+    graph: BipartiteGraph,
+    store: ShardedKVStore,
+    query_ids: np.ndarray,
+    model: LatencyModel,
+    rng: np.random.Generator,
+) -> ReplayResult:
+    """Reference path: one query at a time (kept for parity testing)."""
+    fanouts: list[int] = []
+    latencies: list[float] = []
+    records: list[int] = []
+    for q in query_ids.tolist():
         keys = graph.query_neighbors(q)
         if keys.size == 0:
             continue
         _, counts = store.plan_multiget(keys)
-        latency = model.multiget(rng, counts)
-        result.samples.append(
-            QuerySample(fanout=int(counts.size), latency_ms=latency, num_records=int(keys.size))
-        )
-    result.requests_total = int(store.requests_per_server.sum())
-    result.records_total = int(store.records_per_server.sum())
-    return result
+        fanouts.append(int(counts.size))
+        latencies.append(model.multiget(rng, counts))
+        records.append(int(keys.size))
+    return ReplayResult(
+        fanouts=np.array(fanouts, dtype=np.int64),
+        latencies=np.array(latencies, dtype=np.float64),
+        records=np.array(records, dtype=np.int64),
+        requests_total=int(store.requests_per_server.sum()),
+        records_total=int(store.records_per_server.sum()),
+    )
 
 
 def latency_by_fanout(

@@ -1,5 +1,20 @@
-"""Query workload generation and sampling."""
+"""Query workload generation, sampling, and the online serving loop."""
 
+from .serving import (
+    RoundReport,
+    ServingConfig,
+    ServingOutcome,
+    ServingSimulator,
+    apply_query_churn,
+)
 from .traffic import sample_queries, zipf_weights
 
-__all__ = ["sample_queries", "zipf_weights"]
+__all__ = [
+    "sample_queries",
+    "zipf_weights",
+    "ServingConfig",
+    "ServingSimulator",
+    "ServingOutcome",
+    "RoundReport",
+    "apply_query_churn",
+]

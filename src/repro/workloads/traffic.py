@@ -15,9 +15,14 @@ from ..hypergraph.bipartite import BipartiteGraph
 __all__ = ["sample_queries", "zipf_weights"]
 
 
-def zipf_weights(count: int, exponent: float = 0.8, seed: int = 0) -> np.ndarray:
+def zipf_weights(
+    count: int,
+    exponent: float = 0.8,
+    seed: int = 0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
     """Zipf popularity over ``count`` items in a random rank order."""
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     ranks = rng.permutation(count) + 1
     weights = 1.0 / np.power(ranks, exponent)
     return weights / weights.sum()
@@ -31,12 +36,18 @@ def sample_queries(
 ) -> np.ndarray:
     """Draw a traffic trace of query ids (with repetition, Zipf-skewed).
 
-    ``skew = 0`` degenerates to uniform sampling.
+    ``skew = 0`` degenerates to uniform sampling.  The popularity rank
+    permutation and the sampling draws use independent ``SeedSequence``
+    substreams of ``seed`` — sharing one ``default_rng(seed)`` would feed
+    both from identical bit streams and correlate rank order with draws.
     """
-    rng = np.random.default_rng(seed)
+    rank_seq, draw_seq = np.random.SeedSequence(seed).spawn(2)
+    draw_rng = np.random.default_rng(draw_seq)
     if graph.num_queries == 0:
         return np.empty(0, dtype=np.int64)
     if skew <= 0:
-        return rng.integers(0, graph.num_queries, size=num_samples, dtype=np.int64)
-    weights = zipf_weights(graph.num_queries, exponent=skew, seed=seed)
-    return rng.choice(graph.num_queries, size=num_samples, p=weights)
+        return draw_rng.integers(0, graph.num_queries, size=num_samples, dtype=np.int64)
+    weights = zipf_weights(
+        graph.num_queries, exponent=skew, rng=np.random.default_rng(rank_seq)
+    )
+    return draw_rng.choice(graph.num_queries, size=num_samples, p=weights)

@@ -75,6 +75,27 @@ class TestStore:
         with pytest.raises(ValueError):
             ShardedKVStore(2, np.array([0, 5]))
 
+    def test_negative_server_ids_rejected(self):
+        # Regression: negative ids passed the max()-only check and silently
+        # corrupted the load counters via negative indexing.
+        with pytest.raises(ValueError):
+            ShardedKVStore(2, np.array([0, -1]))
+
+    def test_plan_multiget_batch_matches_sequential(self):
+        rng = np.random.default_rng(8)
+        assignment = rng.integers(0, 5, size=60)
+        batched = ShardedKVStore(5, assignment)
+        sequential = ShardedKVStore(5, assignment)
+        key_lists = [rng.integers(0, 60, size=rng.integers(1, 12)) for _ in range(30)]
+        keys = np.concatenate(key_lists)
+        query_of_key = np.repeat(np.arange(30), [k.size for k in key_lists])
+        req_query, req_server, req_records = batched.plan_multiget_batch(keys, query_of_key)
+        fanouts = [sequential.plan_multiget(k)[1].size for k in key_lists]
+        assert batched.requests_per_server.tolist() == sequential.requests_per_server.tolist()
+        assert batched.records_per_server.tolist() == sequential.records_per_server.tolist()
+        assert np.bincount(req_query, minlength=30).tolist() == fanouts
+        assert int(req_records.sum()) == keys.size
+
     def test_load_imbalance(self):
         store = ShardedKVStore(2, np.array([0, 0, 0, 1]))
         assert np.isclose(store.load_imbalance(), 1.5)
@@ -141,6 +162,28 @@ class TestWorkloads:
         w = zipf_weights(1000, seed=3)
         assert np.isclose(w.sum(), 1.0)
         assert w.min() > 0
+
+    def test_rank_and_draw_streams_independent(self, medium_graph):
+        # Regression: zipf_weights and sample_queries both built
+        # default_rng(seed), so the rank permutation and the sampling draws
+        # consumed identical bit streams.  Pin the decorrelated
+        # construction: independent SeedSequence substreams of the seed.
+        seed, n, skew = 9, 400, 0.8
+        rank_seq, draw_seq = np.random.SeedSequence(seed).spawn(2)
+        weights = zipf_weights(
+            medium_graph.num_queries, exponent=skew,
+            rng=np.random.default_rng(rank_seq),
+        )
+        expected = np.random.default_rng(draw_seq).choice(
+            medium_graph.num_queries, size=n, p=weights
+        )
+        assert np.array_equal(
+            sample_queries(medium_graph, n, skew=skew, seed=seed), expected
+        )
+        # The draw stream must differ from what the old shared stream drew.
+        shared = np.random.default_rng(seed).random(16)
+        independent = np.random.default_rng(draw_seq).random(16)
+        assert not np.allclose(shared, independent)
 
     def test_empty_graph(self):
         from repro.hypergraph import BipartiteGraph

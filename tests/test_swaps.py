@@ -80,6 +80,36 @@ class TestUniformMatcher:
         )
         assert 70 <= decision.move.sum() <= 130  # ~50 per direction
 
+    def test_strict_damping_preserves_balance_exactly(self):
+        # Regression: the i→j and j→i quotas were stochastic-rounded
+        # independently, so a fractional matched count (9 * 0.5 = 4.5)
+        # could round to 4 one way and 5 the other, drifting bucket sizes
+        # despite the documented "sizes are preserved exactly" contract.
+        src, dst, gain = make_movers([(0, 1, 1.0, 9), (1, 0, 1.0, 9)])
+        matcher = UniformMatcher(swap_mode="strict", damping=0.5)
+        for seed in range(25):
+            rng = np.random.default_rng(seed)
+            decision = matcher.decide(
+                src, dst, gain, 2, np.array([9, 9]), np.array([18, 18]), rng
+            )
+            moved_fwd = int(decision.move[:9].sum())
+            moved_bwd = int(decision.move[9:].sum())
+            assert moved_fwd == moved_bwd
+
+    def test_strict_damping_balance_many_pairs(self):
+        # Same contract across several simultaneous bucket pairs.
+        spec = [(0, 1, 1.0, 7), (1, 0, 1.0, 7), (2, 3, 1.0, 5), (3, 2, 1.0, 5)]
+        src, dst, gain = make_movers(spec)
+        sizes = np.array([7, 7, 5, 5])
+        matcher = UniformMatcher(swap_mode="strict", damping=0.3)
+        for seed in range(25):
+            rng = np.random.default_rng(seed)
+            decision = matcher.decide(src, dst, gain, 4, sizes, sizes * 2, rng)
+            flows = np.zeros(4, dtype=np.int64)
+            np.add.at(flows, dst[decision.move], 1)
+            np.add.at(flows, src[decision.move], -1)
+            assert np.all(flows == 0)
+
 
 class TestMatchHistogramCells:
     def test_equal_bins_fully_matched(self, binning):
@@ -173,6 +203,30 @@ class TestMatchHistogramCells:
         )
         assert out.size == 0
 
+    def test_return_extras_alignment(self, binning):
+        # One paired cell (no extras) and one one-sided cell (pure extras).
+        allowed, extras = match_histogram_cells(
+            np.array([0, 1, 0]),
+            np.array([1, 0, 2]),
+            np.array([5, 5, 4]),
+            np.array([3, 3, 10]),
+            3,
+            np.array([20, 3, 4]),
+            np.array([20, 3, 9]),
+            binning,
+            return_extras=True,
+        )
+        assert allowed.tolist() == [3, 3, 5]
+        assert extras.tolist() == [0, 0, 5]  # only the 0→2 cell used ε room
+
+    def test_return_extras_empty(self, binning):
+        empty = np.array([], dtype=np.int64)
+        allowed, extras = match_histogram_cells(
+            empty, empty, empty, empty, 2, np.zeros(2), np.zeros(2), binning,
+            return_extras=True,
+        )
+        assert allowed.size == 0 and extras.size == 0
+
 
 class TestHistogramMatcher:
     def test_strict_mode_preserves_sizes(self, binning, rng):
@@ -216,6 +270,29 @@ class TestHistogramMatcher:
             rng,
         )
         assert decision.move.size == 0
+
+    def test_extra_moves_counts_capacity_extras(self, binning, rng):
+        # Regression: extra_moves used to report max(0, granted - realized)
+        # — a shortfall, always 0 in strict mode — instead of the
+        # one-directional ε-capacity extras the master actually granted.
+        src, dst, gain = make_movers([(0, 1, 4.0, 10)])  # one-sided, room for 5
+        decision = HistogramMatcher(binning, swap_mode="strict").decide(
+            src, dst, gain, 2, np.array([20, 4]), np.array([20, 9]), rng
+        )
+        assert decision.extra_moves == 5
+        assert decision.matched_swaps == 0  # nothing was pairwise-matched
+        assert decision.move.sum() == 5
+
+    def test_matched_swaps_excludes_extras(self, binning, rng):
+        # Paired flow plus a one-sided surplus into spare capacity: the two
+        # accounting channels must not bleed into each other.
+        src, dst, gain = make_movers([(0, 1, 3.0, 8), (1, 0, 3.0, 4)])
+        decision = HistogramMatcher(binning, swap_mode="strict").decide(
+            src, dst, gain, 2, np.array([8, 4]), np.array([8, 6]), rng
+        )
+        assert decision.matched_swaps == 8  # 4 each way, pairwise
+        assert decision.extra_moves == 2  # leftover 0→1 movers into ε room
+        assert decision.move.sum() == 10
 
     def test_table_probabilities_bounded(self, binning, rng):
         src, dst, gain = make_movers([(0, 1, 1.0, 10), (1, 0, 2.0, 3)])
