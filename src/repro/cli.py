@@ -77,6 +77,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             kwargs["p"] = args.p
             if args.objective != "pfanout":
                 kwargs["objective"] = args.objective
+        if args.algorithm == "shp-2":
+            kwargs["level_mode"] = args.level_mode
         result = partitioner(graph, **kwargs)
         label = args.algorithm
     else:
@@ -236,6 +238,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--objective", default="pfanout", choices=["pfanout", "fanout", "cliquenet"],
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--level-mode", default="fused", choices=["fused", "loop"],
+        help="SHP-2 recursion-level execution: 'fused' refines every "
+        "bisection of a level in one vectorized pass (default), 'loop' "
+        "runs the reference per-group subgraph path",
+    )
     p.add_argument(
         "--backend", default="local", choices=["local", "sim", "mp"],
         help="execution backend: 'local' (in-process vectorized optimizer), "

@@ -1,8 +1,9 @@
 """SHP core: the paper's contribution (Algorithm 1 + Section 3.4 + Section 5)."""
 
 from .config import SHPConfig
-from .gains import best_moves, data_query_matrix, move_gains_dense
+from .gains import best_moves, data_query_matrix, move_gains_dense, sibling_move_gains
 from .histograms import GainBinning
+from .level_fuse import LevelGroup, refine_level_fused
 from .incremental import (
     IncrementalOutcome,
     budgeted_incremental_update,
@@ -15,10 +16,18 @@ from .partition import (
     balanced_random_assignment,
     bucket_sizes,
     capacities,
+    child_capacities,
     random_assignment,
     validate_assignment,
+    weighted_capacities,
 )
-from .refinement import RefineOutcome, build_matcher, build_objective, refine
+from .refinement import (
+    RefineOutcome,
+    build_matcher,
+    build_objective,
+    enforce_weighted_caps,
+    refine,
+)
 from .result import IterationStats, PartitionResult
 from .shp_2 import SHP2Partitioner, shp_2
 from .shp_k import SHPKPartitioner, shp_k
@@ -40,13 +49,19 @@ __all__ = [
     "refine",
     "build_objective",
     "build_matcher",
+    "enforce_weighted_caps",
     "best_moves",
     "move_gains_dense",
     "data_query_matrix",
+    "sibling_move_gains",
+    "LevelGroup",
+    "refine_level_fused",
     "random_assignment",
     "balanced_random_assignment",
     "bucket_sizes",
     "capacities",
+    "child_capacities",
+    "weighted_capacities",
     "validate_assignment",
     "save_result",
     "load_result",

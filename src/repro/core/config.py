@@ -54,6 +54,18 @@ class SHPConfig:
     epsilon_schedule:
         Scale ε by (completed splits / total splits) during recursion so
         early levels stay near-perfectly balanced (Section 3.4).
+    level_mode:
+        How SHP-2 executes one recursion level:
+        ``"fused"`` (default) — refine every bucket-pair subproblem of the
+        level simultaneously on the full graph via composite (group, side)
+        virtual-bucket labels: one grouped counts pass, one sibling-gain
+        kernel, one matcher invocation — the in-process analogue of the
+        paper's single Giraph job per level (Sections 3.3–3.4);
+        ``"loop"`` — the reference path: one ``induced_subgraph`` copy and
+        one refinement loop per group, sequentially.  Both modes draw
+        identical initial sides per seed; matcher randomness then diverges,
+        so final assignments agree statistically (equal balance, fanout
+        parity) rather than bitwise.
     move_damping:
         Multiply all move probabilities by this factor (≤ 1).  The paper's
         scheme can oscillate on perfectly symmetric instances (every vertex
@@ -83,6 +95,7 @@ class SHPConfig:
     allow_negative_gains: bool = True
     use_final_pfanout: bool = True
     epsilon_schedule: bool = True
+    level_mode: str = "fused"
     move_damping: float = 1.0
     num_bins: int = 40
     min_gain: float = 1e-7
@@ -101,6 +114,8 @@ class SHPConfig:
             raise ValueError("matcher must be 'histogram' or 'uniform'")
         if self.swap_mode not in ("strict", "bernoulli"):
             raise ValueError("swap_mode must be 'strict' or 'bernoulli'")
+        if self.level_mode not in ("fused", "loop"):
+            raise ValueError("level_mode must be 'fused' or 'loop'")
         if not 0.0 < self.move_damping <= 1.0:
             raise ValueError("move_damping must be in (0, 1]")
         if self.track_metrics not in ("none", "objective", "full"):

@@ -19,10 +19,17 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
-from ..hypergraph.bipartite import BipartiteGraph
+from ..hypergraph.bipartite import BipartiteGraph, csr_row_positions
 from ..objectives.base import SeparableObjective
 
-__all__ = ["data_query_matrix", "move_gains_dense", "best_moves"]
+__all__ = [
+    "data_query_matrix",
+    "move_gains_dense",
+    "best_moves",
+    "gain_tables",
+    "segment_sums",
+    "sibling_move_gains",
+]
 
 _DQ_CACHE_ATTR = "_cached_dq_matrix"
 
@@ -141,3 +148,143 @@ def best_moves(
         best_target[start:stop] = targets.astype(np.int32)
         best_gain[start:stop] = gains[rows, targets]
     return best_gain, best_target
+
+
+def segment_sums(
+    value: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Per-segment sums of ``value`` for segments ``[starts[i], starts[i] + lengths[i])``.
+
+    ``np.add.reduceat`` over the non-empty segments only: clipping an
+    empty trailing segment's start into range would instead split the last
+    non-empty segment and silently drop its final element's contribution.
+    Empty segments sum to 0.
+    """
+    sums = np.zeros(lengths.size, dtype=np.float64)
+    if value.size == 0:
+        return sums
+    nonempty = lengths > 0
+    if nonempty.all():
+        return np.add.reduceat(value, starts)
+    sums[nonempty] = np.add.reduceat(value, starts[nonempty])
+    return sums
+
+
+def gain_tables(
+    objective: SeparableObjective, max_count: int, num_labels: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Tabulated ``(removal_gain, insertion_cost)`` over (count, column).
+
+    Separable objectives are functions of the small integer ``n_i(q)`` and
+    (at most) the bucket column, so the gain kernel can replace per-edge
+    transcendental evaluation with two gathers from a
+    ``(max_count + 1) × L`` table — built once per call from the generic
+    ``*_at`` hooks, valid for any :class:`SeparableObjective`.
+    """
+    n_grid = np.broadcast_to(
+        np.arange(max_count + 1, dtype=np.int64)[:, None], (max_count + 1, num_labels)
+    )
+    col_grid = np.broadcast_to(
+        np.arange(num_labels, dtype=np.int64)[None, :], (max_count + 1, num_labels)
+    )
+    removal = np.ascontiguousarray(objective.removal_gain_at(n_grid, col_grid))
+    insertion = np.ascontiguousarray(objective.insertion_cost_at(n_grid, col_grid))
+    return removal, insertion
+
+
+def sibling_move_gains(
+    graph: BipartiteGraph,
+    labels: np.ndarray,
+    counts: np.ndarray,
+    objective: SeparableObjective,
+    vertex_ids: np.ndarray,
+    sibling: np.ndarray | None = None,
+    edge_indptr: np.ndarray | None = None,
+    edge_queries: np.ndarray | None = None,
+    edge_vertices: np.ndarray | None = None,
+    tables: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Gain of moving each listed vertex to its sibling virtual bucket.
+
+    The level-fused SHP-2 engine restricts every vertex's move to the other
+    side of its own bisection, so the |D| × L gain matrix collapses to one
+    scalar per vertex:
+
+        gain(v) = Σ_{q∈N(v)} w_q · (removal_gain(n_cur(q)) − insertion_cost(n_sib(q)))
+
+    computed with per-edge gathers from the grouped ``counts`` matrix — cost
+    ``O(Σ deg(v))`` and no dense |D| × L intermediate.  ``labels`` is the
+    composite per-vertex virtual-bucket id; ``sibling`` defaults to
+    ``labels ^ 1`` (paired even/odd columns).  Returns gains aligned with
+    ``vertex_ids``.
+
+    ``edge_indptr``/``edge_queries`` optionally substitute a *pruned* copy of
+    the data→query CSR (same vertex indexing, fewer edges): the fused engine
+    drops edges whose query has fewer than two pins inside the vertex's group
+    pair, the level-static analogue of ``induced_subgraph``'s
+    ``min_query_degree``.  Such a query contributes ``f(1) − f(0)`` to both
+    the removal sum and the sibling insertion cost (``ScaledPFanout``
+    linearizes to ``p`` at 0 for any ``t``), so its net gain is exactly zero
+    for every shipped objective and the pruned result equals the full one; a
+    future objective whose sibling columns disagree at n ∈ {0, 1} would
+    break this equivalence.
+
+    ``tables`` pre-supplies :func:`gain_tables` output (reused across the
+    iterations of a level when the objective is fixed).  ``edge_vertices``
+    optionally pre-supplies the per-edge vertex ids of the (pruned) CSR,
+    saving a repeat-expansion on the dense-active-set fast path.
+    """
+    vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+    labels = np.asarray(labels)
+    if vertex_ids.size == 0:
+        return np.empty(0, dtype=np.float64)
+    if edge_indptr is None:
+        edge_indptr = graph.d_indptr
+        edge_queries = graph.d_indices
+    if tables is None:
+        tables = gain_tables(objective, int(counts.max()), counts.shape[1])
+    removal_table, insertion_table = tables
+    num_vertices = edge_indptr.size - 1
+
+    if 2 * vertex_ids.size >= num_vertices:
+        # Dense active set: evaluate every edge once and segment-sum with
+        # reduceat — no per-subset gather maps or variable-length repeats.
+        total = int(edge_queries.size)
+        if total == 0:
+            return np.zeros(vertex_ids.size, dtype=np.float64)
+        if edge_vertices is None:
+            edge_vertices = np.repeat(
+                np.arange(num_vertices, dtype=np.int64), np.diff(edge_indptr)
+            )
+        q_edge = edge_queries
+        cur_edge = labels[edge_vertices]
+        if sibling is None:
+            sib_edge = cur_edge ^ 1
+        else:
+            sib_edge = np.asarray(sibling)[edge_vertices]
+        value = (
+            removal_table[counts[q_edge, cur_edge], cur_edge]
+            - insertion_table[counts[q_edge, sib_edge], sib_edge]
+        )
+        if graph.query_weights is not None:
+            value = value * np.asarray(graph.query_weights, dtype=np.float64)[q_edge]
+        return segment_sums(value, edge_indptr[:-1], np.diff(edge_indptr))[vertex_ids]
+
+    # Sparse active set: gather only the listed vertices' edges.
+    positions, degrees = csr_row_positions(edge_indptr, vertex_ids)
+    if positions.size == 0:
+        return np.zeros(vertex_ids.size, dtype=np.float64)
+    q_edge = edge_queries[positions]
+    cur_edge = np.repeat(labels[vertex_ids], degrees)
+    if sibling is None:
+        sib_edge = cur_edge ^ 1
+    else:
+        sib_edge = np.repeat(np.asarray(sibling)[vertex_ids], degrees)
+    value = (
+        removal_table[counts[q_edge, cur_edge], cur_edge]
+        - insertion_table[counts[q_edge, sib_edge], sib_edge]
+    )
+    if graph.query_weights is not None:
+        value = value * np.asarray(graph.query_weights, dtype=np.float64)[q_edge]
+    segment_starts = np.concatenate(([0], np.cumsum(degrees)[:-1]))
+    return segment_sums(value, segment_starts, degrees)

@@ -15,6 +15,8 @@ __all__ = [
     "balanced_random_assignment",
     "bucket_sizes",
     "capacities",
+    "weighted_capacities",
+    "child_capacities",
     "validate_assignment",
 ]
 
@@ -93,6 +95,68 @@ def capacities(
         target = num_data * p / p.sum()
     caps = np.floor((1.0 + epsilon) * target).astype(np.int64)
     return np.maximum(caps, np.ceil(target).astype(np.int64))
+
+
+def weighted_capacities(
+    weights: np.ndarray,
+    k: int,
+    epsilon: float,
+    proportions: np.ndarray | None = None,
+) -> np.ndarray:
+    """Maximum bucket sizes in *weight* units: ``w(V_i) ≤ (1 + ε) w(D)/k``.
+
+    The float analogue of :func:`capacities` used when the graph carries
+    ``data_weights``: no integer rounding (weights are real-valued), and the
+    feasibility cushion is one maximum vertex weight rather than ``ceil`` —
+    any target can be met up to the granularity of the heaviest vertex.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    total = float(weights.sum())
+    if proportions is None:
+        target = np.full(k, total / k)
+    else:
+        p = np.asarray(proportions, dtype=np.float64)
+        target = total * p / p.sum()
+    cushion = float(weights.max()) if weights.size else 0.0
+    return np.maximum((1.0 + epsilon) * target, target + cushion)
+
+
+def child_capacities(
+    spans: np.ndarray,
+    epsilon: float,
+    per_leaf_target: float,
+    group_total: float,
+    granularity: float | None = None,
+) -> np.ndarray:
+    """Per-child ε-capacities for one bisection of recursive partitioning.
+
+    Capacities are measured against the *global* per-leaf target
+    (``per_leaf_target = total/k``) so per-level overshoot cannot compound
+    multiplicatively down the recursion tree: a child owning ``s`` final
+    buckets may hold at most ``(1 + ε) · s · total/k``.  When the group
+    inherited more than both children may hold, the deficit is relaxed
+    proportionally so the bisection stays feasible.
+
+    ``granularity = None`` means unit weights (integer-rounded capacities,
+    the historical behavior); otherwise it is the heaviest vertex weight in
+    the group and capacities stay real-valued with that feasibility cushion.
+    """
+    spans = np.asarray(spans, dtype=np.float64)
+    target = spans * per_leaf_target
+    if granularity is None:
+        caps = np.maximum(
+            np.floor((1.0 + epsilon) * target), np.ceil(target)
+        )
+    else:
+        caps = np.maximum((1.0 + epsilon) * target, target + granularity)
+    deficit = group_total - caps.sum()
+    if deficit > 0:
+        share = spans / spans.sum()
+        if granularity is None:
+            caps = caps + np.ceil(deficit * share)
+        else:
+            caps = caps + deficit * share + granularity
+    return caps
 
 
 def validate_assignment(assignment: np.ndarray, num_data: int, k: int) -> None:

@@ -34,7 +34,13 @@ from .partition import bucket_sizes
 from .result import IterationStats
 from .swaps import HistogramMatcher, UniformMatcher
 
-__all__ = ["RefineOutcome", "build_objective", "build_matcher", "refine"]
+__all__ = [
+    "RefineOutcome",
+    "build_objective",
+    "build_matcher",
+    "enforce_weighted_caps",
+    "refine",
+]
 
 
 @dataclass
@@ -76,6 +82,67 @@ def build_matcher(config: SHPConfig):
     )
 
 
+def enforce_weighted_caps(
+    move: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    gain: np.ndarray,
+    move_weights: np.ndarray,
+    sizes: np.ndarray,
+    caps: np.ndarray,
+) -> np.ndarray:
+    """Cancel lowest-gain granted moves until weighted capacities hold.
+
+    The matchers grant per-cell *counts* — exact balance bookkeeping for unit
+    weights, but with heterogeneous ``data_weights`` a granted exchange (or
+    ε-extra) of unequal-weight vertices can overshoot a bucket's weighted
+    capacity.  This pass re-checks the granted set in weight space: any
+    over-capacity bucket sheds its cheapest accepted incoming movers; a
+    cancelled mover stays at its source, which may push the source over in
+    turn, so the scan repeats to a fixpoint (each move is cancelled at most
+    once, so it terminates).  At the fixpoint every bucket satisfies
+    ``w(V_i) ≤ max(cap_i, w_before(V_i))`` — within capacity whenever it
+    started within capacity, and never worse than it started.
+
+    Returns the adjusted move mask (the input mask is not modified).
+    """
+    move = np.asarray(move, dtype=bool).copy()
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    num_buckets = caps.size
+    granted = np.flatnonzero(move)
+    if granted.size == 0:
+        return move
+    weights_of = np.asarray(move_weights, dtype=np.float64)
+    new_sizes = np.asarray(sizes, dtype=np.float64).copy()
+    new_sizes -= np.bincount(src[granted], weights=weights_of[granted], minlength=num_buckets)
+    new_sizes += np.bincount(dst[granted], weights=weights_of[granted], minlength=num_buckets)
+    # Cheapest-first cancellation order, fixed once up front.
+    order = granted[np.argsort(gain[granted], kind="stable")]
+    tol = 1e-9 * max(1.0, float(np.abs(caps).max()))
+    while True:
+        over = np.flatnonzero(new_sizes > caps + tol)
+        if over.size == 0:
+            break
+        progress = False
+        for bucket in over:
+            candidates = order[move[order] & (dst[order] == bucket)]
+            if candidates.size == 0:
+                continue
+            cumulative = np.cumsum(weights_of[candidates])
+            excess = new_sizes[bucket] - caps[bucket]
+            cut = min(int(np.searchsorted(cumulative, excess)) + 1, candidates.size)
+            cancel = candidates[:cut]
+            move[cancel] = False
+            new_sizes[bucket] -= cumulative[cut - 1]
+            np.add.at(new_sizes, src[cancel], weights_of[cancel])
+            progress = True
+        if not progress:
+            # Remaining overshoot predates this round of moves; nothing to cancel.
+            break
+    return move
+
+
 def refine(
     graph: BipartiteGraph,
     assignment: np.ndarray,
@@ -89,7 +156,12 @@ def refine(
     """Run Algorithm 1's refinement loop in place on ``assignment``.
 
     ``caps`` are per-bucket maximum sizes (the ε-balance constraint, possibly
-    schedule-tightened by the recursive driver).
+    schedule-tightened by the recursive driver).  When the graph carries
+    ``data_weights``, sizes and capacities are interpreted in weight units
+    (``caps`` must then come from :func:`~repro.core.partition.weighted_capacities`
+    or its recursive analogue) and each matching round is post-checked with
+    :func:`enforce_weighted_caps` so the ε bound reported by
+    ``evaluate_partition`` is the one actually enforced.
     """
     assignment = np.asarray(assignment, dtype=np.int32).copy()
     num_data = graph.num_data
@@ -97,6 +169,7 @@ def refine(
     history: list[IterationStats] = []
     converged = False
     track = config.track_metrics
+    data_weights = None if graph.data_weights is None else graph.weights_or_unit()
 
     if num_data == 0 or graph.num_queries == 0 or k < 2:
         return RefineOutcome(assignment=assignment, history=history, converged=True)
@@ -106,9 +179,14 @@ def refine(
         gain, target = best_moves(graph, assignment, counts, objective)
         if config.move_penalty > 0.0:
             gain = gain - config.move_penalty
-        sizes = bucket_sizes(assignment, k)
+        sizes = bucket_sizes(assignment, k, weights=data_weights)
         decision = matcher.decide(assignment, target, gain, k, sizes, caps, rng)
-        moved_idx = np.flatnonzero(decision.move)
+        move = decision.move
+        if data_weights is not None:
+            move = enforce_weighted_caps(
+                move, assignment, target, gain, data_weights, sizes, caps
+            )
+        moved_idx = np.flatnonzero(move)
         assignment[moved_idx] = target[moved_idx]
         moved = int(moved_idx.size)
         fraction = moved / num_data

@@ -16,6 +16,13 @@ Section 3.4 refinements implemented here:
 * Arbitrary (non-power-of-two) k via proportional bisection: a span of
   ``s`` buckets splits into ``ceil(s/2)`` and ``floor(s/2)`` children with
   proportionally sized targets.
+
+Execution of one level is pluggable (``SHPConfig.level_mode``): the
+default ``"fused"`` mode refines every bucket-pair subproblem of the level
+simultaneously on the full graph (:mod:`repro.core.level_fuse` — the
+in-process analogue of the paper running a whole level as one Giraph job),
+while ``"loop"`` keeps the reference per-group path: one
+``induced_subgraph`` copy and one refinement loop per group.
 """
 
 from __future__ import annotations
@@ -27,7 +34,8 @@ import numpy as np
 
 from ..hypergraph.bipartite import BipartiteGraph
 from .config import SHPConfig
-from .partition import balanced_random_assignment, validate_assignment
+from .level_fuse import LevelGroup, refine_level_fused
+from .partition import balanced_random_assignment, child_capacities, validate_assignment
 from .refinement import build_objective, refine
 from .result import IterationStats, PartitionResult
 
@@ -66,6 +74,10 @@ class SHP2Partitioner:
         if initial is not None:
             validate_assignment(initial, graph.num_data, k)
             initial = np.asarray(initial, dtype=np.int32)
+        data_weights = None if graph.data_weights is None else graph.weights_or_unit()
+        total_weight = (
+            float(graph.num_data) if data_weights is None else float(data_weights.sum())
+        )
 
         assignment = np.zeros(graph.num_data, dtype=np.int32)
         groups = [_Group(np.arange(graph.num_data, dtype=np.int64), 0, k)]
@@ -74,26 +86,52 @@ class SHP2Partitioner:
         splits_done = 1
 
         while any(g.span > 1 for g in groups):
-            level_stats: list[IterationStats] = []
-            next_groups: list[_Group] = []
             # ε schedule: current splits after this level / final splits.
             splits_after = sum(min(2, g.span) if g.span > 1 else 1 for g in groups)
             if config.epsilon_schedule:
                 eps_eff = config.epsilon * min(1.0, splits_after / k)
             else:
                 eps_eff = config.epsilon
+
+            # Phase 1 — initial sides, one group at a time in group order.
+            # Both level modes consume identical RNG draws here, so a seed
+            # pins identical level-entry states regardless of level_mode.
+            work: list[tuple[_Group, LevelGroup]] = []
             for group in groups:
                 if group.span == 1:
-                    assignment[group.data_ids] = group.offset
                     continue
                 left_span = (group.span + 1) // 2
                 right_span = group.span - left_span
-                side, stats, converged = self._bisect(
-                    graph, group, left_span, right_span, eps_eff, rng, initial,
-                    total_data=graph.num_data,
+                side = self._initial_side(group, left_span, right_span, rng, initial)
+                work.append(
+                    (group, LevelGroup(group.data_ids, side, left_span, right_span))
                 )
-                level_stats.extend(stats)
+
+            # Phase 2 — refine the whole level.
+            if config.level_mode == "fused":
+                level_stats, converged = refine_level_fused(
+                    graph, config, [lg for _, lg in work], eps_eff, rng
+                )
                 all_converged = all_converged and converged
+            else:
+                level_stats = []
+                for _, level_group in work:
+                    stats, converged = self._refine_group(
+                        graph, level_group, eps_eff, rng,
+                        total_weight=total_weight, data_weights=data_weights,
+                    )
+                    level_stats.extend(stats)
+                    all_converged = all_converged and converged
+
+            # Phase 3 — split refined groups; settle span-1 groups.
+            next_groups: list[_Group] = []
+            for group in groups:
+                if group.span == 1:
+                    assignment[group.data_ids] = group.offset
+            for group, level_group in work:
+                side = level_group.final_side
+                left_span = level_group.left_span
+                right_span = level_group.right_span
                 left_ids = group.data_ids[side == 0]
                 right_ids = group.data_ids[side == 1]
                 next_groups.append(_Group(left_ids, group.offset, left_span))
@@ -116,28 +154,27 @@ class SHP2Partitioner:
             elapsed_sec=time.perf_counter() - start,
             history=history,
             levels=levels,
-            extra={"num_levels": len(levels), "splits_done": splits_done},
+            extra={
+                "num_levels": len(levels),
+                "splits_done": splits_done,
+                "level_mode": config.level_mode,
+            },
         )
 
     # ------------------------------------------------------------------
-    def _bisect(
+    def _initial_side(
         self,
-        graph: BipartiteGraph,
         group: _Group,
         left_span: int,
         right_span: int,
-        eps_eff: float,
         rng: np.random.Generator,
         initial: np.ndarray | None,
-        total_data: int,
-    ) -> tuple[np.ndarray, list[IterationStats], bool]:
-        """Split one group's vertices into two sides; returns 0/1 labels."""
-        config = self.config
+    ) -> np.ndarray:
+        """Initial 0/1 child labels for one group's vertices."""
         n_group = group.data_ids.size
         if n_group == 0:
-            return np.empty(0, dtype=np.int32), [], True
+            return np.empty(0, dtype=np.int32)
         proportions = np.array([left_span, right_span], dtype=np.float64)
-
         if initial is not None:
             # Warm start: route each vertex toward the child whose final
             # bucket range contains its previous bucket.
@@ -148,35 +185,49 @@ class SHP2Partitioner:
                 side[outside] = balanced_random_assignment(
                     int(outside.sum()), 2, rng, proportions=proportions
                 )
-        else:
-            side = balanced_random_assignment(n_group, 2, rng, proportions=proportions)
+            return side
+        return balanced_random_assignment(n_group, 2, rng, proportions=proportions)
 
-        if n_group <= 2 or group.span < 2:
-            return side, [], True
+    # ------------------------------------------------------------------
+    def _refine_group(
+        self,
+        graph: BipartiteGraph,
+        level_group: LevelGroup,
+        eps_eff: float,
+        rng: np.random.Generator,
+        total_weight: float,
+        data_weights: np.ndarray | None,
+    ) -> tuple[list[IterationStats], bool]:
+        """Reference per-group path: refine one bisection on its subgraph.
 
-        subgraph, _ = graph.induced_subgraph(group.data_ids)
-        splits = (
-            np.array([left_span, right_span], dtype=np.float64)
-            if config.use_final_pfanout
-            else None
+        Fills ``level_group.final_side``; returns ``(stats, converged)``.
+        """
+        config = self.config
+        ids = level_group.data_ids
+        side = np.asarray(level_group.side, dtype=np.int32)
+        level_group.final_side = side
+        if ids.size <= 2:
+            return [], True
+
+        subgraph, _ = graph.induced_subgraph(ids)
+        spans = np.array(
+            [level_group.left_span, level_group.right_span], dtype=np.float64
         )
+        splits = spans if config.use_final_pfanout else None
         objective = build_objective(config, splits_ahead=splits)
-        # Capacities are measured against the *global* per-leaf target so
-        # per-level overshoot cannot compound multiplicatively down the tree:
-        # a child may hold at most (1 + ε_eff) times its share of n/k.
-        global_target = np.array([left_span, right_span], dtype=np.float64) * (
-            total_data / config.k
+        if data_weights is None:
+            group_total: float = float(ids.size)
+            granularity = None
+        else:
+            w_group = data_weights[ids]
+            group_total = float(w_group.sum())
+            granularity = float(w_group.max())
+        caps = child_capacities(
+            spans, eps_eff, total_weight / config.k, group_total,
+            granularity=granularity,
         )
-        caps = np.maximum(
-            np.floor((1.0 + eps_eff) * global_target),
-            np.ceil(global_target),
-        ).astype(np.int64)
-        deficit = n_group - int(caps.sum())
-        if deficit > 0:
-            # The group inherited more vertices than both children may hold;
-            # relax proportionally so the bisection stays feasible.
-            share = proportions / proportions.sum()
-            caps += np.ceil(deficit * share).astype(np.int64)
+        if data_weights is None:
+            caps = caps.astype(np.int64)
         outcome = refine(
             subgraph,
             side,
@@ -187,7 +238,8 @@ class SHP2Partitioner:
             rng,
             config.iterations_per_bisection,
         )
-        return outcome.assignment, outcome.history, outcome.converged
+        level_group.final_side = outcome.assignment
+        return outcome.history, outcome.converged
 
 
 def shp_2(graph: BipartiteGraph, k: int, **kwargs) -> PartitionResult:

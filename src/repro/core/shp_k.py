@@ -13,7 +13,12 @@ import numpy as np
 
 from ..hypergraph.bipartite import BipartiteGraph
 from .config import SHPConfig
-from .partition import balanced_random_assignment, capacities, validate_assignment
+from .partition import (
+    balanced_random_assignment,
+    capacities,
+    validate_assignment,
+    weighted_capacities,
+)
 from .refinement import build_objective, refine
 from .result import PartitionResult
 
@@ -43,7 +48,12 @@ class SHPKPartitioner:
             validate_assignment(initial, graph.num_data, config.k)
             assignment = np.asarray(initial, dtype=np.int32).copy()
         objective = build_objective(config)
-        caps = capacities(graph.num_data, config.k, config.epsilon)
+        if graph.data_weights is None:
+            caps = capacities(graph.num_data, config.k, config.epsilon)
+        else:
+            # Weight-aware balance: capacities in the same weight units the
+            # refinement loop (and evaluate_partition's imbalance) measure.
+            caps = weighted_capacities(graph.weights_or_unit(), config.k, config.epsilon)
         outcome = refine(
             graph,
             assignment,

@@ -81,20 +81,33 @@ def _select_per_cell(
     movers of a cell share a gain bin, so the paper pairs them
     probabilistically; a random subset realizes the same distribution with
     exact counts.
+
+    Randomness is only consumed for *partially* granted cells — cells whose
+    quota covers every mover (or none) need no tie-breaking, which keeps the
+    sort small when one matcher call spans a whole recursion level.
     """
     n = cell_of_mover.size
     if n == 0:
         return np.zeros(0, dtype=bool)
-    order = np.lexsort((rng.random(n), cell_of_mover))
-    sorted_cells = cell_of_mover[order]
-    # Rank of each mover inside its cell after the random shuffle.
-    boundary = np.concatenate(([True], sorted_cells[1:] != sorted_cells[:-1]))
-    group_start = np.flatnonzero(boundary)
-    group_sizes = np.diff(np.concatenate((group_start, [n])))
-    rank = np.arange(n, dtype=np.int64) - np.repeat(group_start, group_sizes)
-    selected_sorted = rank < quota_per_cell[sorted_cells]
-    move = np.zeros(n, dtype=bool)
-    move[order] = selected_sorted
+    num_cells = quota_per_cell.size
+    count = np.bincount(cell_of_mover, minlength=num_cells)
+    quota = np.minimum(quota_per_cell, count)
+    full = quota >= count
+    move = full[cell_of_mover] & (quota[cell_of_mover] > 0)
+    partial_cell = (quota > 0) & (quota < count)
+    if partial_cell.any():
+        movers = np.flatnonzero(partial_cell[cell_of_mover])
+        sub_cells = cell_of_mover[movers]
+        order = np.lexsort((rng.random(movers.size), sub_cells))
+        sorted_cells = sub_cells[order]
+        # Rank of each mover inside its cell after the random shuffle.
+        boundary = np.concatenate(([True], sorted_cells[1:] != sorted_cells[:-1]))
+        group_start = np.flatnonzero(boundary)
+        group_sizes = np.diff(np.concatenate((group_start, [movers.size])))
+        rank = np.arange(movers.size, dtype=np.int64) - np.repeat(
+            group_start, group_sizes
+        )
+        move[movers[order]] = rank < quota[sorted_cells]
     return move
 
 
@@ -248,16 +261,21 @@ def _allocate_extras(
 
     Processes leftover positive-gain cells best-bin-first, so the ε budget
     is spent on the most valuable moves (Section 3.4).
+
+    ``sizes``/``caps`` may be real-valued (weight units, when the graph
+    carries ``data_weights``); room is floored to a whole mover count, and
+    the weighted post-check in the refinement loop handles any residual
+    heterogeneous-weight overshoot.
     """
     extra = np.zeros(s_count.size, dtype=np.int64)
-    work_sizes = np.asarray(sizes, dtype=np.int64).copy()
+    work_sizes = np.asarray(sizes, dtype=np.float64).copy()
     by_gain = leftovers[np.argsort(-s_bin[leftovers], kind="stable")]
     for cell in by_gain.tolist():
         pd = int(s_pair_dir[cell])
         pair, direction = pd // 2, pd % 2
         lo_b, hi_b = pair // k, pair % k
         src_b, dst_b = (lo_b, hi_b) if direction == 0 else (hi_b, lo_b)
-        room = int(caps[dst_b] - work_sizes[dst_b])
+        room = int(np.floor(caps[dst_b] - work_sizes[dst_b]))
         if room <= 0:
             continue
         amount = min(room, int(s_count[cell] - matched_cell[cell]))
@@ -328,6 +346,60 @@ class UniformMatcher:
         }
         return SwapDecision(move=move, matched_swaps=int(move.sum()), table=table)
 
+    def decide_paired(
+        self,
+        src: np.ndarray,
+        gain: np.ndarray,
+        num_labels: int,
+        sizes: np.ndarray,
+        caps: np.ndarray,
+        rng: np.random.Generator,
+    ) -> SwapDecision:
+        """:meth:`decide` specialized to sibling pairs (``dst = src ^ 1``).
+
+        The level-fused engine proposes every vertex toward the other side
+        of its own bisection, so the directed cell is fully determined by
+        the source label and the aggregation collapses to one dense
+        ``bincount`` — no sort.  Semantically identical to ``decide`` with
+        ``dst = src ^ 1``.
+        """
+        n = src.size
+        move = np.zeros(n, dtype=bool)
+        positive = gain > 0
+        if not positive.any():
+            return SwapDecision(move=move)
+        idx = np.flatnonzero(positive)
+        fwd = np.asarray(src, dtype=np.int64)[idx]
+        counts_dir = np.bincount(fwd, minlength=num_labels)
+        pair_ids = np.arange(num_labels, dtype=np.int64)
+        sibling_counts = counts_dir[pair_ids ^ 1] if num_labels % 2 == 0 else None
+        if sibling_counts is None:
+            # Odd label count (a parked column): sibling it with itself so
+            # the xor stays in range; it never holds proposals anyway.
+            safe_sibling = np.minimum(pair_ids ^ 1, num_labels - 1)
+            sibling_counts = counts_dir[safe_sibling]
+        matched = np.minimum(counts_dir, sibling_counts).astype(np.float64) * self.damping
+        if self.swap_mode == "strict":
+            quota = np.zeros(num_labels, dtype=np.int64)
+            even = pair_ids[(pair_ids % 2 == 0) & (pair_ids ^ 1 < num_labels)]
+            quota[even] = _stochastic_round(matched[even], rng)
+            odd = even + 1
+            quota[odd[odd < num_labels]] = quota[even[odd < num_labels]]
+            chosen = _select_per_cell(fwd, quota, rng)
+        else:
+            with np.errstate(invalid="ignore", divide="ignore"):
+                prob = np.where(counts_dir > 0, matched / np.maximum(counts_dir, 1), 0.0)
+            chosen = rng.random(idx.size) < prob[fwd]
+        move[idx] = chosen
+        present = np.flatnonzero(counts_dir)
+        table = {
+            "src": present.astype(np.int32),
+            "dst": (present ^ 1).astype(np.int32),
+            "bin": np.zeros(present.size, dtype=np.int32),
+            "probability": matched[present] / counts_dir[present],
+        }
+        return SwapDecision(move=move, matched_swaps=int(move.sum()), table=table)
+
 
 class HistogramMatcher:
     """Best-first bin matching with negative-bin pairing and ε extras."""
@@ -394,6 +466,76 @@ class HistogramMatcher:
             chosen = rng.random(idx.size) < prob[cell_of]
         move[idx] = chosen
 
+        table = {
+            "src": cell_src.astype(np.int32),
+            "dst": cell_dst.astype(np.int32),
+            "bin": cell_bin.astype(np.int32),
+            "probability": allowed / cell_count,
+        }
+        return SwapDecision(
+            move=move,
+            matched_swaps=matched_total - extras_total,
+            extra_moves=extras_total,
+            table=table,
+        )
+
+    def decide_paired(
+        self,
+        src: np.ndarray,
+        gain: np.ndarray,
+        num_labels: int,
+        sizes: np.ndarray,
+        caps: np.ndarray,
+        rng: np.random.Generator,
+    ) -> SwapDecision:
+        """:meth:`decide` specialized to sibling pairs (``dst = src ^ 1``).
+
+        With the target implied by the source label, cells live in the dense
+        ``source label × gain bin`` space, so the aggregation is one
+        ``bincount`` plus a nonzero scan instead of a sort over composite
+        keys.  Cell ordering matches :meth:`decide` (source-major, then
+        bin), so on a level holding a single bucket pair the RNG stream and
+        therefore the selection are bitwise identical — the property the
+        k ≤ 3 fused-vs-loop parity tests pin.
+        """
+        n = src.size
+        move = np.zeros(n, dtype=bool)
+        if n == 0:
+            return SwapDecision(move=move)
+        bins = self.binning.bin_of(gain)
+        num_ids = self.binning.num_bin_ids
+        src = np.asarray(src, dtype=np.int64)
+        if self.allow_negative:
+            idx = np.arange(n, dtype=np.int64)
+            compact = src * num_ids + self.binning.bin_key(bins)
+        else:
+            idx = np.flatnonzero(bins > 0)
+            if idx.size == 0:
+                return SwapDecision(move=move)
+            compact = src[idx] * num_ids + self.binning.bin_key(bins[idx])
+        dense_count = np.bincount(compact, minlength=num_labels * num_ids)
+        cells = np.flatnonzero(dense_count)
+        cell_src = cells // num_ids
+        cell_dst = cell_src ^ 1
+        cell_bin = self.binning.key_to_bin(cells % num_ids)
+        cell_count = dense_count[cells]
+        allowed, extras = match_histogram_cells(
+            cell_src, cell_dst, cell_bin, cell_count, num_labels, sizes, caps,
+            self.binning, return_extras=True,
+        )
+        matched_total = int(allowed.sum())
+        extras_total = int(extras.sum())
+        if self.damping < 1.0:
+            allowed = _stochastic_round(allowed * self.damping, rng)
+        lookup = np.zeros(num_labels * num_ids, dtype=np.int64)
+        lookup[cells] = np.arange(cells.size, dtype=np.int64)
+        cell_of = lookup[compact]
+        if self.swap_mode == "strict":
+            chosen = _select_per_cell(cell_of, allowed, rng)
+        else:
+            prob = allowed / cell_count
+            chosen = rng.random(idx.size) < prob[cell_of]
+        move[idx] = chosen
         table = {
             "src": cell_src.astype(np.int32),
             "dst": cell_dst.astype(np.int32),

@@ -24,7 +24,32 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["BipartiteGraph", "GraphValidationError"]
+__all__ = ["BipartiteGraph", "GraphValidationError", "csr_row_positions"]
+
+
+def csr_row_positions(
+    indptr: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Positions and lengths of the CSR slots of the listed rows.
+
+    Returns ``(positions, lengths)`` where ``positions`` concatenates
+    ``arange(indptr[r], indptr[r + 1])`` for every ``r`` in ``rows`` (one
+    block per row, in list order) and ``lengths`` are the per-row block
+    sizes.  This is the shared gather map behind the subset gain kernels,
+    incremental count maintenance, and the fused engine's scatter paths —
+    touching only a row subset's slots instead of scanning the whole array.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    starts = indptr[rows]
+    lengths = indptr[rows + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), lengths
+    block_start = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    positions = np.repeat(starts - block_start, lengths) + np.arange(
+        total, dtype=np.int64
+    )
+    return positions, lengths
 
 
 class GraphValidationError(ValueError):
@@ -288,8 +313,17 @@ class BipartiteGraph:
 
         Returns ``(subgraph, data_ids)`` where ``data_ids[i]`` is the original
         id of local data vertex ``i``.
+
+        ``data_ids`` must not contain duplicates: the original-to-local id map
+        is positional, so a repeated id would silently shadow earlier slots and
+        corrupt the subgraph's adjacency.
         """
         data_ids = np.asarray(data_ids, dtype=np.int64)
+        if np.unique(data_ids).size != data_ids.size:
+            raise GraphValidationError(
+                "induced_subgraph requires unique data_ids: duplicates would "
+                "overwrite earlier local_of slots and corrupt the id mapping"
+            )
         in_subset = np.zeros(self.num_data, dtype=bool)
         in_subset[data_ids] = True
         local_of = np.full(self.num_data, -1, dtype=np.int64)
@@ -341,6 +375,7 @@ class BipartiteGraph:
             num_queries=self.num_queries,
             num_data=self.num_data,
             data_weights=self.data_weights,
+            query_weights=self.query_weights,
             name=f"{self.name}~{fraction}",
             dedupe=False,
         )

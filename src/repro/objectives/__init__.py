@@ -11,9 +11,11 @@ from .evaluate import (
     average_pfanout,
     bucket_counts,
     evaluate_partition,
+    grouped_bucket_counts,
     hyperedge_cut,
     imbalance,
     soed,
+    update_bucket_counts,
     weighted_edge_cut,
 )
 from .pfanout import FanoutObjective, PFanoutObjective, ScaledPFanout
@@ -26,6 +28,8 @@ __all__ = [
     "CliqueNetObjective",
     "get_objective",
     "bucket_counts",
+    "grouped_bucket_counts",
+    "update_bucket_counts",
     "objective_value",
     "average_fanout",
     "average_pfanout",

@@ -49,6 +49,30 @@ class SeparableObjective(ABC):
     def insertion_cost(self, counts: np.ndarray) -> np.ndarray:
         """Elementwise ``f(n+1) − f(n)``."""
 
+    def contribution_at(self, counts: np.ndarray, buckets: np.ndarray) -> np.ndarray:
+        """``contribution`` at explicit bucket columns (gathered evaluation).
+
+        Default ignores ``buckets`` — correct for column-independent
+        objectives; see :meth:`removal_gain_at`.
+        """
+        return self.contribution(counts)
+
+    def removal_gain_at(self, counts: np.ndarray, buckets: np.ndarray) -> np.ndarray:
+        """``removal_gain`` at explicit bucket columns (gathered evaluation).
+
+        The level-fused gain kernel evaluates the objective on per-edge
+        *gathered* count vectors rather than full |Q| × k matrices, so
+        bucket-dependent objectives (:class:`~repro.objectives.pfanout.ScaledPFanout`
+        with per-bucket ``splits_ahead``) need the column id of each element.
+        The default ignores ``buckets`` — correct for every column-independent
+        objective.
+        """
+        return self.removal_gain(counts)
+
+    def insertion_cost_at(self, counts: np.ndarray, buckets: np.ndarray) -> np.ndarray:
+        """``insertion_cost`` at explicit bucket columns (gathered evaluation)."""
+        return self.insertion_cost(counts)
+
     def value_from_counts(self, counts: np.ndarray) -> float:
         """Total objective (normalized per query) from a |Q| × k counts matrix."""
         if counts.size == 0:

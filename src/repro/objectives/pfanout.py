@@ -122,5 +122,36 @@ class ScaledPFanout(SeparableObjective):
         degenerate = (counts == 0).astype(np.float64)
         return np.where(q <= 0.0, degenerate, regular)
 
+    def contribution_at(self, counts: np.ndarray, buckets: np.ndarray) -> np.ndarray:
+        q = self._q
+        if np.ndim(q) == 0:
+            return self.contribution(counts)
+        qb = np.asarray(q)[buckets]
+        tb = np.asarray(self.splits_ahead, dtype=np.float64)[buckets]
+        safe = np.where(qb <= 0.0, 0.0, qb)
+        regular = tb * (1.0 - np.power(safe, counts))
+        degenerate = tb * (counts > 0)
+        return np.where(qb <= 0.0, degenerate, regular)
+
+    def removal_gain_at(self, counts: np.ndarray, buckets: np.ndarray) -> np.ndarray:
+        q = self._q
+        if np.ndim(q) == 0:
+            return self.removal_gain(counts)
+        qb = np.asarray(q)[buckets]
+        safe = np.where(qb <= 0.0, 0.0, qb)
+        regular = self.p * np.power(safe, np.maximum(counts - 1, 0))
+        degenerate = (counts == 1).astype(np.float64)
+        return np.where(qb <= 0.0, degenerate, regular)
+
+    def insertion_cost_at(self, counts: np.ndarray, buckets: np.ndarray) -> np.ndarray:
+        q = self._q
+        if np.ndim(q) == 0:
+            return self.insertion_cost(counts)
+        qb = np.asarray(q)[buckets]
+        safe = np.where(qb <= 0.0, 0.0, qb)
+        regular = self.p * np.power(safe, counts)
+        degenerate = (counts == 0).astype(np.float64)
+        return np.where(qb <= 0.0, degenerate, regular)
+
     def describe(self) -> str:
         return f"p={self.p:g}, splits_ahead={self.splits_ahead}"

@@ -166,3 +166,37 @@ class TestTransformations:
         u, v, w = medium_graph.clique_net_edges(max_pairs_per_query=5, seed=3)
         assert u.size <= 5 * medium_graph.num_queries
         assert np.all(u < v)
+
+
+class TestRegressionFixes:
+    """Regression tests for silent-corruption bugs in graph transformations."""
+
+    def test_edge_subsample_preserves_query_weights(self, medium_graph):
+        weights = np.linspace(1.0, 5.0, medium_graph.num_queries)
+        weighted = BipartiteGraph(
+            num_queries=medium_graph.num_queries,
+            num_data=medium_graph.num_data,
+            q_indptr=medium_graph.q_indptr,
+            q_indices=medium_graph.q_indices,
+            d_indptr=medium_graph.d_indptr,
+            d_indices=medium_graph.d_indices,
+            query_weights=weights,
+        )
+        sampled = weighted.edge_subsample(0.5, seed=3)
+        # Queries keep their identity (only incidences are dropped), so the
+        # traffic weights must ride along unchanged.
+        assert sampled.query_weights is not None
+        np.testing.assert_array_equal(sampled.query_weights, weights)
+        sampled.validate()
+
+    def test_edge_subsample_without_weights_stays_unweighted(self, medium_graph):
+        assert medium_graph.edge_subsample(0.5, seed=3).query_weights is None
+
+    def test_induced_subgraph_rejects_duplicate_ids(self, medium_graph):
+        with pytest.raises(GraphValidationError, match="unique data_ids"):
+            medium_graph.induced_subgraph(np.array([1, 2, 2, 5]))
+
+    def test_induced_subgraph_unique_ids_still_work(self, medium_graph):
+        sub, ids = medium_graph.induced_subgraph(np.array([5, 1, 9]))
+        assert sub.num_data == 3
+        sub.validate()

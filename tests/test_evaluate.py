@@ -113,3 +113,44 @@ class TestEvaluatePartition:
             assert key in row
         assert row["k"] == 2
         assert np.isclose(quality.fanout, 5 / 3)
+
+
+class TestWeightedEdgeCutWeights:
+    """Regression: weighted_edge_cut must honor query_weights like every
+    other metric (it silently ignored them)."""
+
+    def _with_weights(self, graph, weights):
+        from repro.hypergraph import BipartiteGraph
+
+        return BipartiteGraph(
+            num_queries=graph.num_queries,
+            num_data=graph.num_data,
+            q_indptr=graph.q_indptr,
+            q_indices=graph.q_indices,
+            d_indptr=graph.d_indptr,
+            d_indices=graph.d_indices,
+            query_weights=weights,
+        )
+
+    def test_hot_query_scales_its_pairs(self):
+        from repro.hypergraph import BipartiteGraph
+
+        g = BipartiteGraph.from_hyperedges([[0, 1], [2, 3]], num_data=4)
+        assignment = np.array([0, 1, 0, 1], dtype=np.int32)  # both queries cut
+        unweighted = weighted_edge_cut(g, assignment, 2)
+        assert unweighted == pytest.approx(2.0)  # one split pair each
+        hot = self._with_weights(g, np.array([3.0, 1.0]))
+        assert weighted_edge_cut(hot, assignment, 2) == pytest.approx(3.0 + 1.0)
+
+    def test_unit_weights_match_unweighted(self, figure1_setup):
+        graph, assignment = figure1_setup
+        unit = self._with_weights(graph, np.ones(graph.num_queries))
+        assert weighted_edge_cut(unit, assignment, 2) == pytest.approx(
+            weighted_edge_cut(graph, assignment, 2)
+        )
+
+    def test_weighted_differs_from_unweighted(self, figure1_setup):
+        graph, assignment = figure1_setup
+        weights = np.array([10.0, 1.0, 1.0])
+        value = weighted_edge_cut(self._with_weights(graph, weights), assignment, 2)
+        assert value != pytest.approx(weighted_edge_cut(graph, assignment, 2))

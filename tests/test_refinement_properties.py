@@ -161,3 +161,119 @@ class TestCapacities:
         caps = capacities(100, 2, 0.1, proportions=np.array([3.0, 1.0]))
         assert caps[0] > caps[1]
         assert caps.sum() >= 100
+
+
+class TestWeightedBalance:
+    """Regression: refine() balanced raw vertex counts while
+    evaluate_partition reports weight-aware imbalance — with data_weights
+    set, sizes and capacities must live in weight units so the reported ε
+    is the enforced ε."""
+
+    @pytest.fixture
+    def weighted_graph(self):
+        from repro.hypergraph import BipartiteGraph
+
+        base = community_bipartite(
+            800, 1200, 8000, num_communities=16, mixing=0.2, seed=7
+        )
+        rng = np.random.default_rng(1)
+        weights = rng.uniform(0.5, 1.5, base.num_data)
+        weights[rng.choice(base.num_data, 60, replace=False)] = 8.0
+        return BipartiteGraph(
+            num_queries=base.num_queries,
+            num_data=base.num_data,
+            q_indptr=base.q_indptr,
+            q_indices=base.q_indices,
+            d_indptr=base.d_indptr,
+            d_indices=base.d_indices,
+            data_weights=weights,
+        ), weights
+
+    def test_shp_k_honors_weighted_epsilon(self, weighted_graph):
+        from repro import shp_k
+        from repro.objectives import imbalance
+
+        graph, weights = weighted_graph
+        k, eps = 8, 0.05
+        result = shp_k(graph, k, seed=1, epsilon=eps)
+        # Granularity slack: one heaviest vertex relative to the target.
+        slack = weights.max() / (weights.sum() / k)
+        assert imbalance(result.assignment, k, weights) <= eps + slack
+
+    @pytest.mark.parametrize("level_mode", ["loop", "fused"])
+    def test_shp_2_honors_weighted_epsilon(self, weighted_graph, level_mode):
+        from repro import shp_2
+        from repro.objectives import imbalance
+
+        graph, weights = weighted_graph
+        k, eps = 8, 0.05
+        result = shp_2(graph, k, seed=1, epsilon=eps, level_mode=level_mode)
+        slack = weights.max() / (weights.sum() / k)
+        assert imbalance(result.assignment, k, weights) <= eps + slack
+
+    def test_weight_blind_baseline_would_violate(self, weighted_graph):
+        """The counterfactual that motivated the fix: optimizing the same
+        topology without weights leaves weighted imbalance far above ε."""
+        from repro import shp_k
+        from repro.hypergraph import BipartiteGraph
+        from repro.objectives import imbalance
+
+        graph, weights = weighted_graph
+        blind = BipartiteGraph(
+            num_queries=graph.num_queries,
+            num_data=graph.num_data,
+            q_indptr=graph.q_indptr,
+            q_indices=graph.q_indices,
+            d_indptr=graph.d_indptr,
+            d_indices=graph.d_indices,
+        )
+        result = shp_k(blind, 8, seed=1, epsilon=0.05)
+        assert imbalance(result.assignment, 8, weights) > 0.10
+
+
+class TestEnforceWeightedCaps:
+    def test_cancels_cheapest_over_cap_moves(self):
+        from repro.core import enforce_weighted_caps
+
+        # Two buckets; three movers 0 -> 1 with weights 2, 2, 2; bucket 1 has
+        # room for one mover's weight only: the two cheapest are cancelled.
+        move = np.array([True, True, True])
+        src = np.zeros(3, dtype=np.int64)
+        dst = np.ones(3, dtype=np.int64)
+        gain = np.array([3.0, 1.0, 2.0])
+        weights = np.full(3, 2.0)
+        sizes = np.array([6.0, 4.0])
+        caps = np.array([10.0, 6.5])
+        adjusted = enforce_weighted_caps(move, src, dst, gain, weights, sizes, caps)
+        assert adjusted.tolist() == [True, False, False]
+
+    def test_noop_when_within_caps(self):
+        from repro.core import enforce_weighted_caps
+
+        move = np.array([True, False, True])
+        src = np.array([0, 0, 1], dtype=np.int64)
+        dst = np.array([1, 1, 0], dtype=np.int64)
+        gain = np.array([1.0, 1.0, 1.0])
+        weights = np.ones(3)
+        sizes = np.array([2.0, 1.0])
+        caps = np.array([10.0, 10.0])
+        adjusted = enforce_weighted_caps(move, src, dst, gain, weights, sizes, caps)
+        assert adjusted.tolist() == [True, False, True]
+
+    def test_cascade_returns_to_source(self):
+        from repro.core import enforce_weighted_caps
+
+        # 0 -> 1 granted, 1 -> 0 granted; cancelling the incoming at bucket 1
+        # pushes bucket 0 back over, cascading a second cancellation.
+        move = np.array([True, True])
+        src = np.array([0, 1], dtype=np.int64)
+        dst = np.array([1, 0], dtype=np.int64)
+        gain = np.array([1.0, 2.0])
+        weights = np.array([5.0, 1.0])
+        sizes = np.array([5.0, 1.0])
+        caps = np.array([5.0, 1.5])
+        adjusted = enforce_weighted_caps(move, src, dst, gain, weights, sizes, caps)
+        # After both moves sizes would be (1, 5): bucket 1 over cap -> cancel
+        # the weight-5 mover (size 0 back at 5... within cap 5); bucket 0 then
+        # holds 5 + incoming 1 = 6 > 5 -> cancel the reverse mover too.
+        assert adjusted.tolist() == [False, False]
