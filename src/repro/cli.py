@@ -115,7 +115,13 @@ def _run_distributed(args: argparse.Namespace, graph: BipartiteGraph):
         seed=args.seed, swap_mode="bernoulli",
     )
     cluster = ClusterSpec(num_workers=args.workers)
-    job = DistributedSHP(config, cluster=cluster, mode=mode, backend=args.backend)
+    job = DistributedSHP(
+        config,
+        cluster=cluster,
+        mode=mode,
+        backend=args.backend,
+        vertex_mode=args.vertex_mode,
+    )
     return job.run(graph)
 
 
@@ -253,6 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers", type=int, default=4,
         help="cluster worker count for --backend sim/mp (default: 4)",
+    )
+    p.add_argument(
+        "--vertex-mode", default="columnar", choices=["columnar", "dict"],
+        help="vertex execution for --backend sim/mp: 'columnar' runs each "
+        "protocol phase as vectorized kernels over typed message batches "
+        "(default), 'dict' is the per-vertex reference path; both are "
+        "bitwise-identical per seed",
     )
     p.add_argument("-o", "--output", help="write assignment (one bucket per line)")
     p.set_defaults(func=_cmd_partition)

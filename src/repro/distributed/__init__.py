@@ -13,8 +13,18 @@ from .backend import (
     resolve_backend,
 )
 from .cluster import PAPER_MACHINE, ClusterSpec, CostModel, MachineSpec
-from .engine import GiraphEngine, JobResult, MasterProgram, VertexContext, VertexProgram
-from .messages import Combiner, SumCombiner, sizeof_payload
+from .engine import (
+    BatchContext,
+    BatchVertexProgram,
+    GiraphEngine,
+    JobResult,
+    MasterProgram,
+    VertexContext,
+    VertexProgram,
+    counter_random,
+    counter_random_array,
+)
+from .messages import Combiner, MessageBatch, MessageSchema, SumCombiner, sizeof_payload
 from .metrics import JobMetrics, SuperstepMetrics
 
 
@@ -41,10 +51,16 @@ __all__ = [
     "JobResult",
     "VertexContext",
     "VertexProgram",
+    "BatchContext",
+    "BatchVertexProgram",
     "MasterProgram",
+    "counter_random",
+    "counter_random_array",
     "Combiner",
     "SumCombiner",
     "sizeof_payload",
+    "MessageSchema",
+    "MessageBatch",
     "JobMetrics",
     "SuperstepMetrics",
 ]

@@ -32,10 +32,17 @@ __all__ = [
     "SimulatedBackend",
     "WorkerStepResult",
     "execute_worker_superstep",
+    "execute_worker_superstep_batch",
     "assemble_superstep_metrics",
+    "is_batch_program",
     "resolve_backend",
     "backend_names",
 ]
+
+
+def is_batch_program(program) -> bool:
+    """True when ``program`` implements the columnar BatchVertexProgram API."""
+    return hasattr(program, "compute_partition")
 
 
 @dataclass
@@ -84,12 +91,23 @@ def execute_worker_superstep(
         broadcasts=broadcasts or {},
         seed=seed,
     )
+    schema = None
+    if hasattr(program, "message_schema"):
+        schema = program.message_schema(superstep)
     active = 0
     for vid in vids:
         msgs = mailboxes.get(vid)
         ctx._begin_vertex(vid)
+        ops_before = ctx._ops
         program.compute(ctx, vid, states[vid], msgs or [])
-        if msgs:
+        # Active = the vertex received messages or did observable work
+        # (sent, aggregated, charged compute).  Counting mailboxes alone
+        # undercounts: superstep 0 has no inbound traffic yet every vertex
+        # computes, and propose/move phases work without receiving.
+        # Mutation-only computes (state writes with no ctx calls) should
+        # ctx.charge(1) to be counted — inspecting dict state per vertex
+        # would put a deep-compare in the hot loop.
+        if msgs or ctx._ops > ops_before:
             active += 1
 
     outbox = ctx._outbox
@@ -112,7 +130,7 @@ def execute_worker_superstep(
     )
     for dst, payload in outbox:
         dst_worker = int(worker_of[dst])
-        size = sizeof_payload(payload)
+        size = schema.measure(payload) if schema is not None else sizeof_payload(payload)
         result.messages_sent += 1
         if dst_worker == worker_id:
             result.messages_local += 1
@@ -121,6 +139,61 @@ def execute_worker_superstep(
             result.remote_row[dst_worker] += size
         result.batches.setdefault(dst_worker, []).append((dst, payload))
     result.state_bytes = sum(_sizeof_state(states[vid]) for vid in vids)
+    return result
+
+
+def execute_worker_superstep_batch(
+    worker_id: int,
+    vids: list[int],
+    partition,
+    program,
+    superstep: int,
+    broadcasts: dict,
+    inbox: list,
+    seed: int,
+    worker_of_array: np.ndarray,
+    num_workers: int,
+) -> WorkerStepResult:
+    """Columnar twin of :func:`execute_worker_superstep`.
+
+    Runs a :class:`~repro.distributed.engine.BatchVertexProgram` kernel over
+    the worker's whole partition, then meters and routes its typed message
+    batches with vectorized arithmetic: destination workers come from one
+    dense placement lookup, byte counts from dtype-exact schema sizes, and
+    batches split per destination worker without per-message Python work.
+    ``result.batches`` maps worker id -> list of MessageBatch.
+    """
+    from .engine import BatchContext
+
+    ctx = BatchContext(
+        superstep=superstep,
+        worker_id=worker_id,
+        broadcasts=broadcasts or {},
+        seed=seed,
+    )
+    program.compute_partition(ctx, partition, inbox)
+
+    result = WorkerStepResult(
+        worker_id=worker_id,
+        aggregates=ctx._aggregates,
+        # One op per local vertex mirrors VertexContext._begin_vertex.
+        ops=float(ctx._ops) + float(len(vids)),
+        active=ctx._active,
+        remote_row=np.zeros(num_workers, dtype=np.float64),
+    )
+    for batch in ctx._outbox:
+        dst_workers = worker_of_array[batch.dst]
+        sizes = batch.per_message_nbytes()
+        local = dst_workers == worker_id
+        result.messages_sent += len(batch)
+        result.messages_local += int(np.count_nonzero(local))
+        result.bytes_local += int(sizes[local].sum())
+        remote = np.bincount(dst_workers, weights=sizes, minlength=num_workers)
+        remote[worker_id] = 0.0
+        result.remote_row += remote
+        for dst_worker, sub in batch.split(dst_workers, num_workers).items():
+            result.batches.setdefault(dst_worker, []).append(sub)
+    result.state_bytes = int(program.partition_nbytes(partition))
     return result
 
 
@@ -202,6 +275,12 @@ class Backend(ABC):
         """Execute the superstep loop for a loaded engine."""
         from .engine import JobResult
 
+        if combiner is not None and is_batch_program(program):
+            raise ValueError(
+                "combiners are not supported for batch vertex programs — "
+                "combine inside compute_partition before send_batch instead"
+            )
+
         num_workers = engine.cluster.num_workers
         metrics = JobMetrics(cluster=engine.cluster)
         start = time.perf_counter()
@@ -271,19 +350,61 @@ class SimulatedBackend(Backend):
         self._engine = None
         self._program = None
         self._combiner = None
+        self._batch = False
         self._mailboxes: dict[int, list] = {}
+        self._partitions: list = []
+        self._batch_inboxes: list[list] = []
 
     def _open(self, engine, program, combiner) -> None:
         self._engine = engine
         self._program = program
         self._combiner = combiner
         self._mailboxes = {}
-        if engine._graph is not None and hasattr(program, "bind_graph"):
+        self._batch = is_batch_program(program)
+        if self._batch:
+            if engine._worker_of_array is None:
+                raise ValueError(
+                    "batch vertex programs require contiguous vertex ids 0..n-1"
+                )
+            self._partitions = [
+                program.create_partition(
+                    worker_id,
+                    engine._worker_vertices[worker_id],
+                    engine._states,
+                    engine._graph,
+                )
+                for worker_id in range(engine.cluster.num_workers)
+            ]
+            self._batch_inboxes = [[] for _ in range(engine.cluster.num_workers)]
+        elif engine._graph is not None and hasattr(program, "bind_graph"):
             program.bind_graph(engine._graph)
 
     def _execute_superstep(self, superstep: int, broadcasts: dict) -> list[WorkerStepResult]:
         engine = self._engine
         num_workers = engine.cluster.num_workers
+        if self._batch:
+            results = [
+                execute_worker_superstep_batch(
+                    worker_id,
+                    engine._worker_vertices[worker_id],
+                    self._partitions[worker_id],
+                    self._program,
+                    superstep,
+                    broadcasts,
+                    self._batch_inboxes[worker_id],
+                    engine.seed,
+                    engine._worker_of_array,
+                    num_workers,
+                )
+                for worker_id in range(num_workers)
+            ]
+            inboxes: list[list] = [[] for _ in range(num_workers)]
+            for res in results:
+                for dst_worker, batches in res.batches.items():
+                    inboxes[dst_worker].extend(batches)
+                res.batches = {}
+            self._batch_inboxes = inboxes
+            return results
         results = [
             execute_worker_superstep(
                 worker_id,
@@ -309,11 +430,17 @@ class SimulatedBackend(Backend):
         return results
 
     def _finish(self) -> dict[int, dict]:
+        if self._batch:
+            for partition in self._partitions:
+                self._program.collect_states(partition, self._engine._states)
         return self._engine._states
 
     def _close(self) -> None:
         self._engine = self._program = self._combiner = None
+        self._batch = False
         self._mailboxes = {}
+        self._partitions = []
+        self._batch_inboxes = []
 
 
 def _sizeof_state(state: dict) -> int:

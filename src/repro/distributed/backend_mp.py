@@ -33,7 +33,12 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from .backend import Backend, execute_worker_superstep
+from .backend import (
+    Backend,
+    execute_worker_superstep,
+    execute_worker_superstep_batch,
+    is_batch_program,
+)
 
 __all__ = ["MultiprocessBackend", "SharedArrayPack", "share_graph", "attach_graph"]
 
@@ -187,51 +192,90 @@ def _worker_main(worker_id: int, conn, init: dict) -> None:
         seed = init["seed"]
         num_workers = init["num_workers"]
         combiner = init["combiner"]
+        batch_mode = init["batch"]
 
         place_pack = SharedArrayPack.attach(init["placement_handle"])
         place = place_pack.arrays()
+        # The master publishes ids sorted ascending, so this equality test
+        # is exactly the 0..n-1 contiguity check the engine performs.
         ids, assignment = place["ids"], place["placement"]
         if ids.size and np.array_equal(ids, np.arange(ids.size, dtype=ids.dtype)):
             worker_of = assignment  # contiguous ids: direct array lookup
         else:
             worker_of = dict(zip(ids.tolist(), assignment.tolist()))
 
+        graph = None
         if init["graph_handle"] is not None:
             graph, graph_pack = attach_graph(init["graph_handle"], init["graph_meta"])
-            if hasattr(program, "bind_graph"):
+            if not batch_mode and hasattr(program, "bind_graph"):
                 program.bind_graph(graph)
+
+        partition = None
+        if batch_mode:
+            # Struct-of-arrays partition built locally from the shipped
+            # dict states + the shared (zero-copy) graph arrays.
+            partition = program.create_partition(worker_id, vids, states, graph)
 
         while True:
             msg = conn.recv()
             kind = msg[0]
             if kind == "step":
                 _, superstep, broadcasts, inbox_blobs = msg
-                mailboxes: dict[int, list] = {}
-                for blob in inbox_blobs:
-                    for dst, payload in pickle.loads(blob):
-                        mailboxes.setdefault(dst, []).append(payload)
-                result = execute_worker_superstep(
-                    worker_id,
-                    vids,
-                    states,
-                    program,
-                    superstep,
-                    broadcasts,
-                    mailboxes,
-                    seed,
-                    worker_of,
-                    num_workers,
-                    combiner,
-                )
-                # Serialize each outbound batch exactly once; the master
-                # routes the blobs without looking inside.
-                blobs = {
-                    dw: pickle.dumps(batch, protocol=_PICKLE_PROTO)
-                    for dw, batch in result.batches.items()
-                }
+                if batch_mode:
+                    inbox: list = []
+                    for blob in inbox_blobs:
+                        inbox.extend(pickle.loads(blob))
+                    result = execute_worker_superstep_batch(
+                        worker_id,
+                        vids,
+                        partition,
+                        program,
+                        superstep,
+                        broadcasts,
+                        inbox,
+                        seed,
+                        worker_of,
+                        num_workers,
+                    )
+                    # Compact each outbound batch to the entry rows its
+                    # messages reference, then pickle once per hop —
+                    # columns travel as a few large buffers, never as
+                    # per-message tuples.
+                    blobs = {
+                        dw: pickle.dumps(
+                            [b.compact() for b in batches], protocol=_PICKLE_PROTO
+                        )
+                        for dw, batches in result.batches.items()
+                    }
+                else:
+                    mailboxes: dict[int, list] = {}
+                    for blob in inbox_blobs:
+                        for dst, payload in pickle.loads(blob):
+                            mailboxes.setdefault(dst, []).append(payload)
+                    result = execute_worker_superstep(
+                        worker_id,
+                        vids,
+                        states,
+                        program,
+                        superstep,
+                        broadcasts,
+                        mailboxes,
+                        seed,
+                        worker_of,
+                        num_workers,
+                        combiner,
+                    )
+                    # Serialize each outbound batch exactly once; the master
+                    # routes the blobs without looking inside.
+                    blobs = {
+                        dw: pickle.dumps(batch, protocol=_PICKLE_PROTO)
+                        for dw, batch in result.batches.items()
+                    }
                 result.batches = {}
                 conn.send(("ok", result, blobs))
             elif kind == "collect":
+                if batch_mode:
+                    program.collect_states(partition, states)
                 conn.send(("states", states))
             elif kind == "exit":
                 break
@@ -302,6 +346,11 @@ class MultiprocessBackend(Backend):
         ctx = mp.get_context(self.mp_context)
         self._engine = engine
         self._num_workers = num_workers
+        batch_mode = is_batch_program(program)
+        if batch_mode and engine._worker_of_array is None:
+            raise ValueError(
+                "batch vertex programs require contiguous vertex ids 0..n-1"
+            )
 
         ids = np.fromiter(engine._worker_of.keys(), dtype=np.int64)
         assignment = np.fromiter(engine._worker_of.values(), dtype=np.int64)
@@ -330,6 +379,7 @@ class MultiprocessBackend(Backend):
                 "seed": engine.seed,
                 "num_workers": num_workers,
                 "combiner": combiner,
+                "batch": batch_mode,
                 "placement_handle": self._placement_pack.handle,
                 "graph_handle": graph_handle,
                 "graph_meta": graph_meta,

@@ -41,9 +41,13 @@ from .metrics import JobMetrics
 __all__ = [
     "VertexContext",
     "VertexProgram",
+    "BatchContext",
+    "BatchVertexProgram",
     "MasterProgram",
     "GiraphEngine",
     "JobResult",
+    "counter_random",
+    "counter_random_array",
 ]
 
 
@@ -64,6 +68,51 @@ class VertexProgram(Protocol):
 
     def phase_name(self, superstep: int) -> str:
         """Label for metrics grouping (e.g. SHP's four protocol phases)."""
+        ...  # pragma: no cover - protocol
+
+
+class BatchVertexProgram(Protocol):
+    """Columnar twin of :class:`VertexProgram`: one kernel per partition.
+
+    Instead of a Python ``compute()`` per vertex over dict state, a batch
+    program owns a *partition object* per worker — typically a struct of
+    numpy arrays over the worker's vertices — and executes each superstep as
+    vectorized kernels over the whole partition, exchanging typed
+    :class:`~repro.distributed.messages.MessageBatch` columns instead of
+    per-message tuples.  Backends detect batch programs by the presence of
+    ``compute_partition`` and route them through
+    :func:`repro.distributed.backend.execute_worker_superstep_batch`.
+
+    Contract mirrors the per-vertex path: programs must be picklable, the
+    partition is worker-local (built inside the worker process under the
+    multiprocess backend), and ``collect_states`` must fold the final
+    columns back into the caller's per-vertex dicts *in place* so the
+    engine's state contract holds on every backend.  Batch mode requires
+    contiguous vertex ids (``0..n-1``) for array-based placement lookup.
+    """
+
+    def phase_name(self, superstep: int) -> str:
+        """Label for metrics grouping (same as :class:`VertexProgram`)."""
+        ...  # pragma: no cover - protocol
+
+    def create_partition(
+        self, worker_id: int, vids: list[int], states: dict[int, dict], graph
+    ) -> object:
+        """Build the worker-local struct-of-arrays state for ``vids``."""
+        ...  # pragma: no cover - protocol
+
+    def compute_partition(
+        self, ctx: "BatchContext", partition: object, inbox: list
+    ) -> None:
+        """Run one superstep over the whole partition (vectorized)."""
+        ...  # pragma: no cover - protocol
+
+    def collect_states(self, partition: object, states: dict[int, dict]) -> None:
+        """Write final column values back into the per-vertex dicts."""
+        ...  # pragma: no cover - protocol
+
+    def partition_nbytes(self, partition: object) -> int:
+        """Resident bytes of the partition (memory metering)."""
         ...  # pragma: no cover - protocol
 
 
@@ -104,6 +153,30 @@ def counter_random(seed: int, superstep: int, vid: int, draw: int) -> float:
     x = (x * _MIX2) & _MASK64
     x ^= x >> 31
     return x * _INV_2_64
+
+
+def counter_random_array(
+    seed: int, superstep: int, vids: np.ndarray, draw: int = 0
+) -> np.ndarray:
+    """Vectorized :func:`counter_random` over an array of vertex ids.
+
+    Bit-identical to the scalar version (uint64 wraparound equals the
+    explicit mod-2^64 masking), so columnar kernels draw exactly the coins
+    the per-vertex path would.
+    """
+    vids = np.asarray(vids)
+    base = (
+        seed * _GOLDEN
+        + (superstep + 1) * _MIX1
+        + (draw + 1) * 0xD6E8FEB86659FD93
+    ) & _MASK64
+    x = np.uint64(base) + (vids.astype(np.uint64) + np.uint64(1)) * np.uint64(_MIX2)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(_MIX1)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(_MIX2)
+    x ^= x >> np.uint64(31)
+    return x.astype(np.float64) * _INV_2_64
 
 
 @dataclass
@@ -153,6 +226,53 @@ class VertexContext:
 
 
 @dataclass
+class BatchContext:
+    """Per-superstep API handed to :class:`BatchVertexProgram` kernels.
+
+    The columnar counterpart of :class:`VertexContext`: sends are whole
+    :class:`~repro.distributed.messages.MessageBatch` columns, aggregations
+    are bulk dict merges, and randomness is drawn per vertex-id array from
+    the same counter-based stream as the per-vertex path.  Op accounting is
+    explicit (``charge``) plus one op per sent message, mirroring
+    ``VertexContext.send``; programs that track parity with a per-vertex
+    twin charge the twin's per-vertex op counts themselves.
+    """
+
+    superstep: int
+    worker_id: int
+    broadcasts: dict
+    seed: int = 0
+    _ops: float = 0.0
+    _active: int = 0
+    _outbox: list = field(default_factory=list, repr=False)
+    _aggregates: dict = field(default_factory=dict, repr=False)
+
+    def send_batch(self, batch) -> None:
+        """Queue a typed message batch (delivered next superstep)."""
+        if len(batch):
+            self._outbox.append(batch)
+            self._ops += len(batch)
+
+    def aggregate_items(self, name: str, items: dict) -> None:
+        """Merge ``{key: value}`` sums into the named global aggregator."""
+        bucket = self._aggregates.setdefault(name, {})
+        for key, value in items.items():
+            bucket[key] = bucket.get(key, 0.0) + value
+
+    def charge(self, ops: float) -> None:
+        """Account ``ops`` units of compute work."""
+        self._ops += ops
+
+    def add_active(self, count: int) -> None:
+        """Report ``count`` vertices as active this superstep."""
+        self._active += int(count)
+
+    def random(self, vids: np.ndarray, draw: int = 0) -> np.ndarray:
+        """Counter-based uniform draws for an array of vertex ids."""
+        return counter_random_array(self.seed, self.superstep, vids, draw)
+
+
+@dataclass
 class JobResult:
     """Final vertex states plus execution metrics."""
 
@@ -191,6 +311,9 @@ class GiraphEngine:
         self._states: dict[int, dict] = {}
         self._graph = None
         self._worker_of: dict[int, int] = {}
+        #: dense vid -> worker lookup, available when vertex ids are the
+        #: contiguous range 0..n-1 (required by batch programs).
+        self._worker_of_array: np.ndarray | None = None
         self._worker_vertices: list[list[int]] = [[] for _ in range(self.cluster.num_workers)]
 
     # ------------------------------------------------------------------
@@ -208,6 +331,11 @@ class GiraphEngine:
         ids = np.fromiter(states.keys(), dtype=np.int64)
         placement = self._rng.integers(0, self.cluster.num_workers, size=ids.size)
         self._worker_of = dict(zip(ids.tolist(), placement.tolist()))
+        self._worker_of_array = None
+        if ids.size and int(ids.min()) == 0 and int(ids.max()) == ids.size - 1:
+            dense = np.empty(ids.size, dtype=np.int64)
+            dense[ids] = placement
+            self._worker_of_array = dense
         self._worker_vertices = [[] for _ in range(self.cluster.num_workers)]
         for vid, worker in self._worker_of.items():
             self._worker_vertices[worker].append(vid)

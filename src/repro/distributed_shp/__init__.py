@@ -1,5 +1,14 @@
 """Distributed SHP: the 4-superstep vertex-centric job (Section 3.2)."""
 
-from .job import DistributedSHP, DistributedSHPResult
+from .columnar import SHPColumnarProgram
+from .job import DistributedSHP, DistributedSHPResult, vertex_mode_names
+from .schemas import DELTA_SCHEMA, NDATA_SCHEMA
 
-__all__ = ["DistributedSHP", "DistributedSHPResult"]
+__all__ = [
+    "DistributedSHP",
+    "DistributedSHPResult",
+    "SHPColumnarProgram",
+    "vertex_mode_names",
+    "DELTA_SCHEMA",
+    "NDATA_SCHEMA",
+]

@@ -1,0 +1,582 @@
+"""Columnar (struct-of-arrays) execution of the 4-superstep SHP protocol.
+
+:class:`SHPColumnarProgram` is the :class:`~repro.distributed.BatchVertexProgram`
+twin of the per-vertex ``_SHPVertexProgram``: each worker holds its partition
+as numpy columns — ``bucket`` / ``target`` / ``gain`` / ``bin`` for data
+vertices, CSR-backed sparse neighbor data for query vertices — and executes
+every protocol phase as vectorized kernels over the whole partition instead
+of a Python ``compute()`` per vertex.  Messages travel as typed
+:class:`~repro.distributed.MessageBatch` columns (schemas in
+:mod:`repro.distributed_shp.schemas`).
+
+The program is **bitwise-identical** to the dict path for a given seed, on
+every backend.  Three properties make that hold:
+
+* randomness is counter-based (`counter_random_array` reproduces the scalar
+  splitmix hash exactly), so S4 coin flips agree;
+* gain terms come from tables built by the *same* scalar closures the dict
+  path calls (``_scalar_gain_fns``), and every floating-point accumulation
+  runs in the dict path's canonical order — ascending query id per data
+  vertex, which is exactly how the dict path iterates its (sorted) caches —
+  via ``np.bincount``'s sequential left-to-right adds;
+* the aggregated histograms are integer-valued, so master decisions match.
+
+Worker-local representation notes: the dict path caches one copy of a
+query's neighbor data per adjacent data vertex; the columnar partition
+stores each cached query row once per worker (all copies are identical) and
+joins data vertices against it through the adjacency CSR, which is both the
+memory win and the vectorization enabler.  Message metering still counts
+every logical (per-edge) message at its full schema size, so the meters are
+unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import SHPConfig
+from ..core.histograms import GainBinning
+from ..distributed.messages import MessageBatch
+from ..hypergraph.bipartite import csr_row_positions, ragged_positions
+from .schemas import DELTA_SCHEMA, NDATA_SCHEMA
+
+__all__ = ["SHPColumnarProgram"]
+
+
+class _Partition:
+    """One worker's struct-of-arrays state (built by ``create_partition``)."""
+
+    def __init__(self):
+        # Data-vertex columns (aligned with ``dvids``).
+        self.dvids = np.empty(0, dtype=np.int64)
+        self.bucket = np.empty(0, dtype=np.int64)
+        self.target = np.empty(0, dtype=np.int64)
+        self.gain = np.empty(0, dtype=np.float64)
+        self.bin = np.empty(0, dtype=np.int64)
+        self.has_delta = np.empty(0, dtype=bool)
+        self.delta_old = np.empty(0, dtype=np.int64)  # -1 encodes None
+        # Local data -> adjacent query (engine ids, ascending per row).
+        self.d_adj_indptr = np.zeros(1, dtype=np.int64)
+        self.d_adj_q = np.empty(0, dtype=np.int64)
+        # Query-vertex columns (aligned with ``qvids``).
+        self.qvids = np.empty(0, dtype=np.int64)
+        self.q_weight = np.empty(0, dtype=np.float64)
+        self.q_adj_indptr = np.zeros(1, dtype=np.int64)
+        self.q_adj_d = np.empty(0, dtype=np.int64)
+        # Sparse neighbor data n_i(q) per local query: CSR rows sorted by
+        # bucket id (rebuilt, never mutated, so in-flight batches that
+        # alias the arrays stay valid).
+        self.nd_indptr = np.zeros(1, dtype=np.int64)
+        self.nd_bucket = np.empty(0, dtype=np.int64)
+        self.nd_count = np.empty(0, dtype=np.int64)
+        # Worker-shared cache of the latest neighbor data each adjacent
+        # query broadcast (the columnar stand-in for per-vertex ``qdata``).
+        self.cache_qids = np.empty(0, dtype=np.int64)
+        self.cache_weight = np.empty(0, dtype=np.float64)
+        self.cache_indptr = np.zeros(1, dtype=np.int64)
+        self.cache_bucket = np.empty(0, dtype=np.int64)
+        self.cache_count = np.empty(0, dtype=np.int64)
+        # Level-descent alternation state (mirrors the dict program's
+        # per-(worker, bucket) parity dict).
+        self.parity: dict[int, int] = {}
+        # Tabulated gain functions, keyed by the splits_ahead broadcast.
+        self.max_count = 1
+        self._table_splits: float | None = None
+        self._rem_table: np.ndarray | None = None
+        self._ins_table: np.ndarray | None = None
+        self._ins0 = 0.0
+
+    def nbytes(self) -> int:
+        total = 0
+        for value in self.__dict__.values():
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+        return total
+
+
+class SHPColumnarProgram:
+    """Vectorized batch program for distributed SHP (modes ``"2"``/``"k"``)."""
+
+    def __init__(self, num_data: int, config: SHPConfig, binning: GainBinning, mode: str):
+        self.num_data = num_data
+        self.config = config
+        self.binning = binning
+        self.mode = mode
+
+    def phase_name(self, superstep: int) -> str:
+        from .job import _PHASES
+
+        return _PHASES[superstep % 4]
+
+    # ------------------------------------------------------------------
+    # Partition lifecycle
+    # ------------------------------------------------------------------
+    def create_partition(self, worker_id: int, vids, states: dict, graph) -> _Partition:
+        if graph is None:
+            raise ValueError("columnar SHP requires the engine to be loaded with a graph")
+        part = _Partition()
+        vids_arr = np.asarray(vids, dtype=np.int64)
+        is_data = vids_arr < self.num_data
+        dvids = vids_arr[is_data]
+        qvids = vids_arr[~is_data]
+        part.dvids = dvids
+        part.qvids = qvids
+        part.max_count = (
+            int(graph.query_degrees.max()) if graph.num_queries else 1
+        ) or 1
+
+        n = dvids.size
+        part.bucket = np.fromiter(
+            (states[int(v)]["bucket"] for v in dvids), dtype=np.int64, count=n
+        )
+        part.target = np.full(n, -1, dtype=np.int64)
+        part.gain = np.zeros(n, dtype=np.float64)
+        part.bin = np.zeros(n, dtype=np.int64)
+        part.has_delta = np.zeros(n, dtype=bool)
+        part.delta_old = np.full(n, -1, dtype=np.int64)
+        for i, v in enumerate(dvids.tolist()):
+            delta = states[v].get("delta")
+            if delta is not None:
+                part.has_delta[i] = True
+                part.delta_old[i] = -1 if delta[0] is None else int(delta[0])
+
+        positions, lengths = csr_row_positions(graph.d_indptr, dvids)
+        part.d_adj_indptr = np.concatenate(([0], np.cumsum(lengths)))
+        adj_q = graph.d_indices[positions].astype(np.int64) + self.num_data
+        # Canonical ascending-query order per row: the order every
+        # floating-point accumulation (and the dict path's sorted cache
+        # iteration) uses.
+        row_of = np.repeat(np.arange(n, dtype=np.int64), lengths)
+        order = np.lexsort((adj_q, row_of))
+        part.d_adj_q = adj_q[order]
+
+        nq = qvids.size
+        part.q_weight = np.fromiter(
+            (states[int(v)].get("weight", 1.0) for v in qvids),
+            dtype=np.float64,
+            count=nq,
+        )
+        q_positions, q_lengths = csr_row_positions(graph.q_indptr, qvids - self.num_data)
+        part.q_adj_indptr = np.concatenate(([0], np.cumsum(q_lengths)))
+        part.q_adj_d = graph.q_indices[q_positions].astype(np.int64)
+
+        # Warm neighbor data (empty on a fresh run).
+        nd_rows = []
+        for j, v in enumerate(qvids.tolist()):
+            for b, c in sorted(states[v].get("nd", {}).items()):
+                nd_rows.append((j, b, c))
+        if nd_rows:
+            rows = np.array(nd_rows, dtype=np.int64)
+            part.nd_indptr = np.concatenate(
+                ([0], np.cumsum(np.bincount(rows[:, 0], minlength=nq)))
+            )
+            part.nd_bucket = rows[:, 1].copy()
+            part.nd_count = rows[:, 2].copy()
+        else:
+            part.nd_indptr = np.zeros(nq + 1, dtype=np.int64)
+        return part
+
+    def collect_states(self, part: _Partition, states: dict) -> None:
+        for i, v in enumerate(part.dvids.tolist()):
+            st = states[v]
+            st["kind"] = 0
+            st["vid"] = v
+            st["bucket"] = int(part.bucket[i])
+            st["target"] = int(part.target[i]) if part.target[i] >= 0 else None
+            st["gain"] = float(part.gain[i])
+            st["bin"] = int(part.bin[i])
+            if part.has_delta[i]:
+                old = None if part.delta_old[i] < 0 else int(part.delta_old[i])
+                st["delta"] = (old, int(part.bucket[i]))
+            else:
+                st.pop("delta", None)
+        for j, v in enumerate(part.qvids.tolist()):
+            st = states[v]
+            st["kind"] = 1
+            st["vid"] = v
+            st["weight"] = float(part.q_weight[j])
+            lo, hi = int(part.nd_indptr[j]), int(part.nd_indptr[j + 1])
+            st["nd"] = {
+                int(b): int(c)
+                for b, c in zip(part.nd_bucket[lo:hi], part.nd_count[lo:hi])
+            }
+
+    def partition_nbytes(self, part: _Partition) -> int:
+        return part.nbytes()
+
+    # ------------------------------------------------------------------
+    # Superstep dispatch
+    # ------------------------------------------------------------------
+    def compute_partition(self, ctx, part: _Partition, inbox: list) -> None:
+        phase = ctx.superstep % 4
+        if phase == 0:
+            self._s1_collect(ctx, part)
+        elif phase == 1:
+            self._s2_neighbor_data(ctx, part, inbox)
+        elif phase == 2:
+            self._s3_propose(ctx, part, inbox)
+        else:
+            self._s4_move(ctx, part)
+
+    # ------------------------------------------------------------------
+    # S1: data vertices announce bucket deltas to adjacent queries
+    # ------------------------------------------------------------------
+    def _s1_collect(self, ctx, part: _Partition) -> None:
+        if ctx.broadcasts.get("advance"):
+            self._advance(part, ctx.superstep)
+        senders = np.flatnonzero(part.has_delta)
+        if senders.size == 0:
+            return
+        positions, lengths = csr_row_positions(part.d_adj_indptr, senders)
+        if positions.size:
+            dst = part.d_adj_q[positions]
+            old = np.repeat(part.delta_old[senders], lengths).astype(np.int32)
+            new = np.repeat(part.bucket[senders], lengths).astype(np.int32)
+            ctx.send_batch(MessageBatch(DELTA_SCHEMA, dst, {"old": old, "new": new}))
+        # Mirror the dict path's ops: one send per edge (counted by
+        # send_batch) plus charge(degree) per sender.
+        ctx.charge(float(lengths.sum()))
+        ctx.add_active(int(np.count_nonzero(lengths)))
+        part.has_delta[senders] = False
+
+    def _advance(self, part: _Partition, superstep: int) -> None:
+        """Descend one bisection level, alternating children per bucket.
+
+        Replicates the dict program's worker-local parity: vertices are
+        visited in ascending vid order, each (worker, bucket) key keeps a
+        persistent 0/1 counter, first touch defaults to ``superstep % 2``.
+        """
+        n = part.dvids.size
+        if n:
+            order = np.argsort(part.bucket, kind="stable")
+            sb = part.bucket[order]
+            seg_first = np.empty(n, dtype=bool)
+            seg_first[0] = True
+            seg_first[1:] = sb[1:] != sb[:-1]
+            seg_idx = np.flatnonzero(seg_first)
+            seg_ids = np.cumsum(seg_first) - 1
+            pos_in_seg = np.arange(n, dtype=np.int64) - seg_idx[seg_ids]
+            seg_buckets = sb[seg_idx]
+            seg_len = np.diff(np.append(seg_idx, n))
+            default = superstep % 2
+            offsets = np.fromiter(
+                (part.parity.get(int(b), default) for b in seg_buckets),
+                dtype=np.int64,
+                count=seg_buckets.size,
+            )
+            for b, off, ln in zip(
+                seg_buckets.tolist(), offsets.tolist(), seg_len.tolist()
+            ):
+                part.parity[b] = int((off + ln) % 2)
+            child_sorted = (offsets[seg_ids] + pos_in_seg) % 2
+            child = np.empty(n, dtype=np.int64)
+            child[order] = child_sorted
+            part.bucket = 2 * part.bucket + child
+            part.delta_old = np.full(n, -1, dtype=np.int64)
+            part.has_delta = np.ones(n, dtype=bool)
+        # New level: cached neighbor data is stale (dict path clears qdata).
+        part.cache_qids = np.empty(0, dtype=np.int64)
+        part.cache_weight = np.empty(0, dtype=np.float64)
+        part.cache_indptr = np.zeros(1, dtype=np.int64)
+        part.cache_bucket = np.empty(0, dtype=np.int64)
+        part.cache_count = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # S2: queries fold deltas into n_i(q), dirty queries broadcast it
+    # ------------------------------------------------------------------
+    def _s2_neighbor_data(self, ctx, part: _Partition, inbox: list) -> None:
+        nq = part.qvids.size
+        reset = bool(ctx.broadcasts.get("reset"))
+        if inbox:
+            dst = np.concatenate([b.dst for b in inbox])
+            d_old = np.concatenate([b.cols["old"] for b in inbox]).astype(np.int64)
+            d_new = np.concatenate([b.cols["new"] for b in inbox]).astype(np.int64)
+        else:
+            dst = np.empty(0, dtype=np.int64)
+            d_old = np.empty(0, dtype=np.int64)
+            d_new = np.empty(0, dtype=np.int64)
+        ql = np.searchsorted(part.qvids, dst)
+        has_msg = np.zeros(nq, dtype=bool)
+        if ql.size:
+            has_msg[ql] = True
+
+        # Rebuild the neighbor-data CSR: existing entries (dropped wholesale
+        # on reset) plus +1/-1 delta entries, summed per (query, bucket).
+        # Sum-combining is equivalent to the dict path's sequential
+        # increment/decrement because counts never go transiently negative
+        # for a bucket that survives (each data vertex contributes one
+        # delta per cycle and was already counted before moving out).
+        rows_parts = []
+        bucket_parts = []
+        count_parts = []
+        if not reset and part.nd_bucket.size:
+            rows_parts.append(
+                np.repeat(np.arange(nq, dtype=np.int64), np.diff(part.nd_indptr))
+            )
+            bucket_parts.append(part.nd_bucket)
+            count_parts.append(part.nd_count)
+        if ql.size:
+            rows_parts.append(ql)
+            bucket_parts.append(d_new)
+            count_parts.append(np.ones(ql.size, dtype=np.int64))
+            dec = d_old >= 0
+            if dec.any():
+                rows_parts.append(ql[dec])
+                bucket_parts.append(d_old[dec])
+                count_parts.append(np.full(int(dec.sum()), -1, dtype=np.int64))
+        if rows_parts:
+            all_q = np.concatenate(rows_parts)
+            all_b = np.concatenate(bucket_parts)
+            all_c = np.concatenate(count_parts)
+            order = np.lexsort((all_b, all_q))
+            aq, ab, ac = all_q[order], all_b[order], all_c[order]
+            first = np.empty(aq.size, dtype=bool)
+            first[0] = True
+            first[1:] = (aq[1:] != aq[:-1]) | (ab[1:] != ab[:-1])
+            starts = np.flatnonzero(first)
+            sums = np.add.reduceat(ac, starts)
+            keep = sums > 0
+            kq, kb, kc = aq[starts][keep], ab[starts][keep], sums[keep]
+        else:
+            kq = np.empty(0, dtype=np.int64)
+            kb = np.empty(0, dtype=np.int64)
+            kc = np.empty(0, dtype=np.int64)
+        part.nd_bucket = kb
+        part.nd_count = kc
+        part.nd_indptr = np.concatenate(
+            ([0], np.cumsum(np.bincount(kq, minlength=nq)))
+        )
+
+        dirty = has_msg | reset
+        send_q = np.flatnonzero(dirty)
+        if send_q.size:
+            positions, lengths = csr_row_positions(part.q_adj_indptr, send_q)
+            row_start = part.nd_indptr[send_q]
+            row_len = part.nd_indptr[send_q + 1] - row_start
+            if positions.size:
+                batch = MessageBatch(
+                    NDATA_SCHEMA,
+                    part.q_adj_d[positions],
+                    {
+                        "query": np.repeat(part.qvids[send_q], lengths),
+                        "weight": np.repeat(part.q_weight[send_q], lengths),
+                    },
+                    entry_start=np.repeat(row_start, lengths),
+                    entry_len=np.repeat(row_len, lengths),
+                    entries={
+                        "bucket": part.nd_bucket.astype(np.int32),
+                        "count": part.nd_count.astype(np.int32),
+                    },
+                )
+                ctx.send_batch(batch)
+            ctx.charge(float((lengths * np.maximum(1, row_len)).sum()))
+        deg = np.diff(part.q_adj_indptr)
+        ctx.add_active(int(np.count_nonzero(has_msg | (dirty & (deg > 0)))))
+
+    # ------------------------------------------------------------------
+    # S3: data vertices recompute gains from cached neighbor data
+    # ------------------------------------------------------------------
+    def _s3_propose(self, ctx, part: _Partition, inbox: list) -> None:
+        self._update_cache(part, inbox)
+        nloc = part.dvids.size
+        if nloc == 0:
+            return
+        cfg = self.config
+        splits = float(ctx.broadcasts.get("splits_ahead", 1.0))
+        rem_t, ins_t, ins0 = self._tables(part, splits)
+        level_k = int(ctx.broadcasts.get("level_k", cfg.k))
+
+        # Join local data vertices with the worker's query cache through
+        # the adjacency CSR (rows already ascending in query id).
+        edge_d = np.repeat(
+            np.arange(nloc, dtype=np.int64), np.diff(part.d_adj_indptr)
+        )
+        edge_q = part.d_adj_q
+        crow = np.searchsorted(part.cache_qids, edge_q)
+        if part.cache_qids.size:
+            crow_c = np.minimum(crow, part.cache_qids.size - 1)
+            found = part.cache_qids[crow_c] == edge_q
+        else:
+            crow_c = crow
+            found = np.zeros(edge_q.size, dtype=bool)
+        f_d = edge_d[found]
+        f_row = crow_c[found]
+        w_e = part.cache_weight[f_row]
+        row_len = part.cache_indptr[f_row + 1] - part.cache_indptr[f_row]
+        positions = ragged_positions(part.cache_indptr[f_row], row_len)
+        ent_edge = np.repeat(np.arange(f_d.size, dtype=np.int64), row_len)
+        ent_b = part.cache_bucket[positions]
+        ent_c = part.cache_count[positions]
+
+        bucket_e = part.bucket[f_d]
+        match = ent_b == bucket_e[ent_edge]
+        count_here = np.ones(f_d.size, dtype=np.int64)
+        count_here[ent_edge[match]] = ent_c[match]
+
+        # bincount accumulates sequentially in input order — (data vertex,
+        # ascending query id) — matching the dict path's sorted iteration,
+        # so the float sums are bitwise identical.
+        rsum = np.bincount(f_d, weights=w_e * rem_t[count_here], minlength=nloc)
+        weight_sum = np.bincount(f_d, weights=w_e, minlength=nloc)
+
+        other = ~match
+        cells = f_d[ent_edge[other]] * level_k + ent_b[other]
+        terms = w_e[ent_edge[other]] * (ins_t[ent_c[other]] - ins0)
+        sums = np.bincount(cells, weights=terms, minlength=nloc * level_k)
+        sums = sums.reshape(nloc, level_k)
+        present = np.zeros(nloc * level_k, dtype=bool)
+        present[cells] = True
+        present = present.reshape(nloc, level_k)
+
+        rows = np.arange(nloc)
+        if self.mode == "2":
+            sibling = part.bucket ^ 1
+            best_bucket = sibling
+            best_adjust = np.where(present[rows, sibling], sums[rows, sibling], 0.0)
+        else:
+            candidates = np.where(present, sums, np.inf)
+            candidates[rows, part.bucket] = np.inf
+            minval = candidates.min(axis=1)
+            fallback = (part.bucket + 1) % level_k
+            fallback_adj = np.where(present[rows, fallback], sums[rows, fallback], 0.0)
+            use_min = minval < 0.0
+            best_bucket = np.where(use_min, candidates.argmin(axis=1), fallback)
+            best_adjust = np.where(use_min, np.where(np.isfinite(minval), minval, 0.0), fallback_adj)
+
+        gain = rsum - (weight_sum * ins0 + best_adjust)
+        if cfg.move_penalty > 0.0:
+            gain = gain - cfg.move_penalty
+        part.target = best_bucket.astype(np.int64)
+        part.gain = gain
+        part.bin = self.binning.bin_of(gain).astype(np.int64)
+
+        num_bins = self.binning.num_bins
+        num_bin_ids = self.binning.num_bin_ids
+        encoded = (part.bucket * level_k + part.target) * num_bin_ids + (
+            part.bin + num_bins
+        )
+        uniq, counts = np.unique(encoded, return_counts=True)
+        hist = {}
+        for e, c in zip(uniq.tolist(), counts.tolist()):
+            pair, key = divmod(e, num_bin_ids)
+            src, dst = divmod(pair, level_k)
+            hist[(src, dst, key - num_bins)] = float(c)
+        ctx.aggregate_items("hist", hist)
+        sizes = np.bincount(part.bucket, minlength=level_k)
+        ctx.aggregate_items(
+            "sizes", {b: float(c) for b, c in enumerate(sizes.tolist()) if c}
+        )
+        # Dict-path ops: charge(total cached nd entries) + 2 aggregate
+        # calls per data vertex.
+        ctx.charge(float(row_len.sum()) + 2.0 * nloc)
+        ctx.add_active(nloc)
+
+    def _update_cache(self, part: _Partition, inbox: list) -> None:
+        """Fold inbound S2 broadcasts into the worker's query-row cache.
+
+        Every adjacent data vertex receives the same row, so one copy per
+        query per worker suffices; each query appears in at most one
+        inbound batch (its owner worker sends once).
+        """
+        if not inbox:
+            return
+        qid_parts, w_parts, len_parts, b_parts, c_parts = [], [], [], [], []
+        for batch in inbox:
+            q = batch.cols["query"]
+            if not q.size:
+                continue
+            uq, first_idx = np.unique(q, return_index=True)
+            positions, lens = batch.entry_positions(first_idx)
+            qid_parts.append(uq)
+            w_parts.append(batch.cols["weight"][first_idx])
+            len_parts.append(lens)
+            b_parts.append(batch.entries["bucket"][positions].astype(np.int64))
+            c_parts.append(batch.entries["count"][positions].astype(np.int64))
+        if not qid_parts:
+            return
+        new_qids = np.concatenate(qid_parts)
+        new_w = np.concatenate(w_parts)
+        new_len = np.concatenate(len_parts)
+        new_b = np.concatenate(b_parts)
+        new_c = np.concatenate(c_parts)
+        new_start = np.concatenate(([0], np.cumsum(new_len)[:-1]))
+
+        keep = ~np.isin(part.cache_qids, new_qids, assume_unique=True)
+        old_start = part.cache_indptr[:-1][keep]
+        old_len = np.diff(part.cache_indptr)[keep]
+        pool_b = np.concatenate([part.cache_bucket, new_b])
+        pool_c = np.concatenate([part.cache_count, new_c])
+        qids = np.concatenate([part.cache_qids[keep], new_qids])
+        weights = np.concatenate([part.cache_weight[keep], new_w])
+        starts = np.concatenate([old_start, new_start + part.cache_bucket.size])
+        lens = np.concatenate([old_len, new_len])
+
+        order = np.argsort(qids, kind="stable")
+        starts, lens = starts[order], lens[order]
+        positions = ragged_positions(starts, lens)
+        part.cache_qids = qids[order]
+        part.cache_weight = weights[order]
+        part.cache_indptr = np.concatenate(([0], np.cumsum(lens)))
+        part.cache_bucket = pool_b[positions]
+        part.cache_count = pool_c[positions]
+
+    def _tables(self, part: _Partition, splits: float):
+        """Gain tables built from the *scalar* closures (bitwise-shared)."""
+        if part._table_splits != splits:
+            from .job import _scalar_gain_fns
+
+            rem, ins, ins0 = _scalar_gain_fns(self.config.objective, self.config.p, splits)
+            top = part.max_count
+            part._rem_table = np.array(
+                [0.0] + [rem(n) for n in range(1, top + 1)], dtype=np.float64
+            )
+            part._ins_table = np.array(
+                [ins(n) for n in range(0, top + 1)], dtype=np.float64
+            )
+            part._ins0 = float(ins0)
+            part._table_splits = splits
+        return part._rem_table, part._ins_table, part._ins0
+
+    # ------------------------------------------------------------------
+    # S4: coin-flip moves under the master's per-bin probabilities
+    # ------------------------------------------------------------------
+    def _s4_move(self, ctx, part: _Partition) -> None:
+        probs = ctx.broadcasts.get("probs")
+        nloc = part.dvids.size
+        if not probs or nloc == 0:
+            return
+        level_k = int(ctx.broadcasts.get("level_k", self.config.k))
+        num_bins = self.binning.num_bins
+        num_bin_ids = self.binning.num_bin_ids
+        keys = np.array(
+            [
+                (src * level_k + dst) * num_bin_ids + (gbin + num_bins)
+                for (src, dst, gbin) in probs.keys()
+            ],
+            dtype=np.int64,
+        )
+        values = np.array(list(probs.values()), dtype=np.float64)
+        order = np.argsort(keys)
+        keys, values = keys[order], values[order]
+
+        valid = part.target >= 0
+        encoded = (part.bucket * level_k + part.target) * num_bin_ids + (
+            part.bin + num_bins
+        )
+        idx = np.minimum(np.searchsorted(keys, encoded), keys.size - 1)
+        found = (keys[idx] == encoded) & valid
+        cand = np.flatnonzero(found)
+        if cand.size == 0:
+            return
+        probability = values[idx[cand]]
+        draws = ctx.random(part.dvids[cand], 0)
+        movers = cand[draws < probability]
+        if movers.size == 0:
+            return
+        old = part.bucket[movers].copy()
+        part.bucket[movers] = part.target[movers]
+        part.delta_old[movers] = old
+        part.has_delta[movers] = True
+        ctx.aggregate_items("moved", {"count": float(movers.size)})
+        ctx.charge(float(movers.size))
+        ctx.add_active(int(movers.size))

@@ -33,12 +33,18 @@ import numpy as np
 
 from ..core.config import SHPConfig
 from ..core.histograms import GainBinning
-from ..core.partition import balanced_random_assignment
+from ..core.partition import balanced_random_assignment, validate_assignment
 from ..core.swaps import match_histogram_cells
 from ..distributed import ClusterSpec, GiraphEngine, JobMetrics
 from ..hypergraph.bipartite import BipartiteGraph
+from .schemas import DELTA_SCHEMA, NDATA_SCHEMA
 
-__all__ = ["DistributedSHP", "DistributedSHPResult"]
+__all__ = ["DistributedSHP", "DistributedSHPResult", "vertex_mode_names"]
+
+
+def vertex_mode_names() -> list[str]:
+    """Vertex execution modes accepted by :class:`DistributedSHP`."""
+    return ["columnar", "dict"]
 
 _PHASES = ("S1-collect", "S2-neighbor-data", "S3-propose", "S4-move")
 
@@ -102,6 +108,16 @@ class _SHPVertexProgram:
     def phase_name(self, superstep: int) -> str:
         return _PHASES[superstep % 4]
 
+    def message_schema(self, superstep: int):
+        """Typed wire schema of this phase's messages (dtype-exact metering,
+        shared with the columnar mode so both report identical byte meters)."""
+        phase = superstep % 4
+        if phase == 0:
+            return DELTA_SCHEMA
+        if phase == 1:
+            return NDATA_SCHEMA
+        return None
+
     # ------------------------------------------------------------------
     def compute(self, ctx, vid: int, state: dict, messages: list) -> None:
         phase = ctx.superstep % 4
@@ -157,7 +173,11 @@ class _SHPVertexProgram:
         rsum = 0.0
         weight_sum = 0.0
         adjust: dict[int, float] = {}
-        for weight, neighbor_data in qdata.values():
+        # Canonical ascending-query-id iteration: float accumulation order
+        # is part of the wire contract with the columnar mode, whose
+        # kernels sum in exactly this order (bitwise-identical gains).
+        for qvid in sorted(qdata):
+            weight, neighbor_data = qdata[qvid]
             weight_sum += weight
             count_here = neighbor_data.get(bucket, 1)
             rsum += weight * rem(count_here)
@@ -174,8 +194,11 @@ class _SHPVertexProgram:
             best_bucket = sibling
             best_adjust = adjust.get(sibling, 0.0)
         else:
+            # Ascending-bucket iteration: ties on the minimum break toward
+            # the lowest bucket id, matching the columnar argmin.
             best_bucket, best_adjust = None, 0.0
-            for candidate, value in adjust.items():
+            for candidate in sorted(adjust):
+                value = adjust[candidate]
                 if candidate != bucket and value < best_adjust:
                     best_bucket, best_adjust = candidate, value
             if best_bucket is None:
@@ -365,6 +388,7 @@ class DistributedSHPResult:
     halted_by_master: bool
     moved_history: list[int] = field(default_factory=list)
     backend: str = "sim"
+    vertex_mode: str = "columnar"
 
 
 class DistributedSHP:
@@ -372,8 +396,13 @@ class DistributedSHP:
 
     ``backend`` selects the execution substrate: ``"sim"`` (in-process
     simulation, the default), ``"mp"`` (one OS process per worker), or any
-    :class:`repro.distributed.Backend` instance.  Given the same config and
-    graph, every backend produces bit-identical assignments.
+    :class:`repro.distributed.Backend` instance.  ``vertex_mode`` selects
+    how workers execute vertices: ``"columnar"`` (default) runs each
+    protocol phase as vectorized kernels over struct-of-arrays partitions
+    exchanging typed message batches; ``"dict"`` is the per-vertex
+    reference implementation.  Given the same config and graph, every
+    (backend, vertex_mode) combination produces bit-identical assignments
+    and identical message/byte meters.
     """
 
     def __init__(
@@ -382,15 +411,21 @@ class DistributedSHP:
         cluster: ClusterSpec | None = None,
         mode: str = "2",
         backend=None,
+        vertex_mode: str = "columnar",
     ):
         if mode not in ("2", "k"):
             raise ValueError("mode must be '2' or 'k'")
         if mode == "2" and (config.k & (config.k - 1)) != 0:
             raise ValueError("distributed SHP-2 requires k to be a power of two")
+        if vertex_mode not in vertex_mode_names():
+            raise ValueError(
+                f"vertex_mode must be one of {vertex_mode_names()}, got {vertex_mode!r}"
+            )
         self.config = config
         self.cluster = cluster or ClusterSpec()
         self.mode = mode
         self.backend = backend
+        self.vertex_mode = vertex_mode
 
     # ------------------------------------------------------------------
     def run(
@@ -405,6 +440,20 @@ class DistributedSHP:
             assignment = balanced_random_assignment(num_data, start_k, rng)
         else:
             assignment = np.asarray(initial, dtype=np.int32).copy()
+            try:
+                validate_assignment(assignment, num_data, start_k)
+            except ValueError as exc:
+                hint = (
+                    " (mode '2' runs recursive bisection level-synchronously: "
+                    "it starts at 2 buckets and descends, so the initial "
+                    "assignment must be a 2-way labeling, not k-way)"
+                    if self.mode == "2"
+                    else ""
+                )
+                raise ValueError(
+                    f"invalid initial assignment for distributed SHP mode "
+                    f"{self.mode!r} with start bucket count {start_k}{hint}: {exc}"
+                ) from exc
 
         # States carry no adjacency: programs read the (shared, read-only)
         # graph through ``bind_graph``, so worker partitions stay small and
@@ -430,7 +479,12 @@ class DistributedSHP:
             }
 
         binning = GainBinning(num_bins=config.num_bins, min_gain=config.min_gain)
-        program = _SHPVertexProgram(num_data, config, binning, self.mode)
+        if self.vertex_mode == "columnar":
+            from .columnar import SHPColumnarProgram
+
+            program = SHPColumnarProgram(num_data, config, binning, self.mode)
+        else:
+            program = _SHPVertexProgram(num_data, config, binning, self.mode)
         levels = int(round(math.log2(config.k))) if self.mode == "2" else 1
         budget = (
             config.iterations_per_bisection if self.mode == "2" else config.max_iterations
@@ -455,4 +509,5 @@ class DistributedSHP:
             halted_by_master=job.halted_by_master,
             moved_history=master.moved_history,
             backend=engine.backend.name,
+            vertex_mode=self.vertex_mode,
         )

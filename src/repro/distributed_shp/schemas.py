@@ -1,0 +1,41 @@
+"""Typed wire schemas for the 4-superstep SHP protocol.
+
+Both execution modes of the distributed job speak these schemas:
+
+* the per-vertex (dict) path sends Python tuples but *meters* them at the
+  schema's dtype-exact sizes;
+* the columnar path sends :class:`~repro.distributed.MessageBatch` columns
+  built directly from the schemas.
+
+One shared definition is what makes the two modes report identical
+message/byte meters for the same run.
+"""
+
+from __future__ import annotations
+
+from ..distributed.messages import MessageSchema
+
+__all__ = ["DELTA_SCHEMA", "NDATA_SCHEMA"]
+
+
+def _ndata_entries(payload: object) -> int:
+    """Entry count of a dict-mode S2 payload ``("q", vid, weight, nd)``."""
+    return len(payload[3])
+
+
+#: S1 collect — a data vertex tells its queries it moved ``old -> new``
+#: (``old`` is -1 / None on the first announcement of a level).
+DELTA_SCHEMA = MessageSchema(
+    "shp-delta",
+    fields=(("old", "<i4"), ("new", "<i4")),
+)
+
+#: S2 neighbor data — a query broadcasts its sparse bucket histogram
+#: ``n_i(q)`` to adjacent data vertices: a fixed header (query id, traffic
+#: weight) plus one (bucket, count) entry per nonzero bucket.
+NDATA_SCHEMA = MessageSchema(
+    "shp-ndata",
+    fields=(("query", "<i8"), ("weight", "<f8")),
+    entry_fields=(("bucket", "<i4"), ("count", "<i4")),
+    var_len=_ndata_entries,
+)

@@ -24,7 +24,26 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["BipartiteGraph", "GraphValidationError", "csr_row_positions"]
+__all__ = [
+    "BipartiteGraph",
+    "GraphValidationError",
+    "csr_row_positions",
+    "ragged_positions",
+]
+
+
+def ragged_positions(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(start, start + length)`` blocks, one per row.
+
+    The single shared implementation of the ragged gather map: every block
+    arithmetic (CSR row subsets, message-batch entry pools, columnar cache
+    joins) routes through here so the offsets stay bit-identical everywhere.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    block_start = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    return np.repeat(starts - block_start, lengths) + np.arange(total, dtype=np.int64)
 
 
 def csr_row_positions(
@@ -42,14 +61,7 @@ def csr_row_positions(
     rows = np.asarray(rows, dtype=np.int64)
     starts = indptr[rows]
     lengths = indptr[rows + 1] - starts
-    total = int(lengths.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64), lengths
-    block_start = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-    positions = np.repeat(starts - block_start, lengths) + np.arange(
-        total, dtype=np.int64
-    )
-    return positions, lengths
+    return ragged_positions(starts, lengths), lengths
 
 
 class GraphValidationError(ValueError):

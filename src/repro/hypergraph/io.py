@@ -5,9 +5,11 @@ Three formats are supported:
 * **hMetis** (``.hgr``) — the de-facto exchange format among the partitioners
   the paper compares against (hMetis, PaToH, Mondriaan, Parkway, Zoltan).
   First line: ``num_hyperedges num_vertices [fmt]``; each subsequent line
-  lists the 1-based vertex ids of one hyperedge.  ``fmt`` 10/11 add vertex
-  (and hyperedge) weights; we read vertex weights and ignore hyperedge
-  weights, which SHP's objective does not use.
+  lists the 1-based vertex ids of one hyperedge.  ``fmt`` 1/11 prefix each
+  hyperedge line with a weight, 10/11 append a vertex-weight section.
+  Hyperedge weights map exactly onto SHP's traffic ``query_weights`` (the
+  weighted-fanout objectives), vertex weights onto ``data_weights``; both
+  round-trip.
 * **edge list** (``.tsv``) — one ``query<TAB>data`` pair per line.
 * **NPZ** — a compact numpy archive for checkpoints and large graphs.
 """
@@ -45,18 +47,43 @@ def _open_for_write(path_or_file) -> tuple[TextIO, bool]:
     return open(path_or_file, "w", encoding="utf-8"), True
 
 
+def _format_weight(value: float) -> str:
+    """Integral weights as ints (canonical hMetis), fractional ones exactly."""
+    value = float(value)
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
 def write_hmetis(graph: BipartiteGraph | Hypergraph, path_or_file) -> None:
-    """Write a graph in hMetis ``.hgr`` format (1-based vertex ids)."""
+    """Write a graph in hMetis ``.hgr`` format (1-based vertex ids).
+
+    The fmt flag follows the hMetis convention: ``1`` when hyperedge
+    weights are present (emitted from ``query_weights``), ``10`` for
+    vertex weights (``data_weights``), ``11`` for both.
+    """
     bip = graph.bipartite if isinstance(graph, Hypergraph) else graph
     handle, owned = _open_for_write(path_or_file)
     try:
-        has_weights = bip.data_weights is not None
-        fmt = " 10" if has_weights else ""
+        has_vertex_weights = bip.data_weights is not None
+        has_edge_weights = bip.query_weights is not None
+        if has_edge_weights and has_vertex_weights:
+            fmt = " 11"
+        elif has_edge_weights:
+            fmt = " 1"
+        elif has_vertex_weights:
+            fmt = " 10"
+        else:
+            fmt = ""
         handle.write(f"{bip.num_queries} {bip.num_data}{fmt}\n")
+        edge_weights = (
+            np.asarray(bip.query_weights, dtype=np.float64) if has_edge_weights else None
+        )
         for q in range(bip.num_queries):
             pins = bip.query_neighbors(q) + 1
-            handle.write(" ".join(map(str, pins.tolist())) + "\n")
-        if has_weights:
+            prefix = f"{_format_weight(edge_weights[q])} " if has_edge_weights else ""
+            handle.write(prefix + " ".join(map(str, pins.tolist())) + "\n")
+        if has_vertex_weights:
             weights = np.asarray(bip.data_weights)
             primary = weights[:, 0] if weights.ndim == 2 else weights
             for w in primary:
@@ -79,13 +106,23 @@ def read_hmetis(path_or_file, name: str = "") -> BipartiteGraph:
         has_vertex_weights = fmt in ("10", "11")
         qs: list[int] = []
         ds: list[int] = []
+        edge_weights = (
+            np.empty(num_edges, dtype=np.float64) if has_edge_weights else None
+        )
         for qid in range(num_edges):
             line = handle.readline()
             if not line:
                 raise GraphValidationError(f"expected {num_edges} hyperedges, file ended early")
             fields = line.split()
             if has_edge_weights:
-                fields = fields[1:]  # hyperedge weight unused by fanout objectives
+                if not fields:
+                    raise GraphValidationError(
+                        f"hyperedge {qid} missing its weight (fmt {fmt})"
+                    )
+                # Hyperedge weights are SHP's traffic query weights: every
+                # objective becomes its traffic-weighted expectation.
+                edge_weights[qid] = float(fields[0])
+                fields = fields[1:]
             for f in fields:
                 qs.append(qid)
                 ds.append(int(f) - 1)
@@ -98,7 +135,13 @@ def read_hmetis(path_or_file, name: str = "") -> BipartiteGraph:
                     raise GraphValidationError("vertex weight section ended early")
                 weights[v] = float(line.split()[0])
         return BipartiteGraph.from_edges(
-            qs, ds, num_queries=num_edges, num_data=num_vertices, data_weights=weights, name=name
+            qs,
+            ds,
+            num_queries=num_edges,
+            num_data=num_vertices,
+            data_weights=weights,
+            query_weights=edge_weights,
+            name=name,
         )
     finally:
         if owned:
@@ -149,6 +192,8 @@ def save_npz(graph: BipartiteGraph, path: str | Path) -> None:
     }
     if graph.data_weights is not None:
         payload["data_weights"] = np.asarray(graph.data_weights)
+    if graph.query_weights is not None:
+        payload["query_weights"] = np.asarray(graph.query_weights)
     np.savez_compressed(path, **payload)
 
 
@@ -161,6 +206,9 @@ def load_npz(path: str | Path) -> BipartiteGraph:
         num_data = int(archive["num_data"])
         name = str(archive["name"])
         weights = archive["data_weights"] if "data_weights" in archive else None
+        query_weights = (
+            archive["query_weights"] if "query_weights" in archive else None
+        )
     degrees = np.diff(q_indptr)
     q_of_edge = np.repeat(np.arange(num_queries, dtype=np.int64), degrees)
     return BipartiteGraph.from_edges(
@@ -169,6 +217,7 @@ def load_npz(path: str | Path) -> BipartiteGraph:
         num_queries=num_queries,
         num_data=num_data,
         data_weights=weights,
+        query_weights=query_weights,
         name=name,
         dedupe=False,
     )

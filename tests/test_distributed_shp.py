@@ -80,6 +80,44 @@ class TestProtocolCorrectness:
         with pytest.raises(ValueError):
             DistributedSHP(SHPConfig(k=4), mode="3")
 
+    def test_bad_vertex_mode_rejected(self):
+        with pytest.raises(ValueError, match="vertex_mode"):
+            DistributedSHP(SHPConfig(k=4), vertex_mode="rowwise")
+
+
+class TestInitialValidation:
+    """DistributedSHP.run validates `initial` against the *starting* bucket
+    count (mode "2" starts at 2 buckets), instead of silently corrupting
+    level descent with out-of-range labels."""
+
+    def test_kway_initial_rejected_in_mode2(self, small_graph):
+        job = DistributedSHP(SHPConfig(k=8, seed=0, swap_mode="bernoulli"), mode="2")
+        kway = np.arange(small_graph.num_data, dtype=np.int32) % 8
+        with pytest.raises(ValueError, match="starts at 2 buckets"):
+            job.run(small_graph, initial=kway)
+
+    def test_out_of_range_initial_rejected_in_mode_k(self, small_graph):
+        job = DistributedSHP(SHPConfig(k=4, seed=0, swap_mode="bernoulli"), mode="k")
+        bad = np.arange(small_graph.num_data, dtype=np.int32) % 8
+        with pytest.raises(ValueError, match="mode 'k'"):
+            job.run(small_graph, initial=bad)
+
+    def test_wrong_length_initial_rejected(self, small_graph):
+        job = DistributedSHP(SHPConfig(k=4, seed=0, swap_mode="bernoulli"), mode="k")
+        with pytest.raises(ValueError, match="shape"):
+            job.run(small_graph, initial=np.zeros(3, dtype=np.int32))
+
+    @pytest.mark.parametrize("mode,start_k", [("2", 2), ("k", 8)])
+    def test_valid_initial_accepted_both_modes(self, small_graph, mode, start_k):
+        config = SHPConfig(
+            k=8, seed=1, iterations_per_bisection=2, max_iterations=2,
+            swap_mode="bernoulli",
+        )
+        initial = (np.arange(small_graph.num_data) % start_k).astype(np.int32)
+        run = DistributedSHP(config, mode=mode).run(small_graph, initial=initial)
+        assert run.assignment.min() >= 0
+        assert run.assignment.max() < 8
+
 
 class TestMetering:
     def test_four_phases_present(self, shp2_run):

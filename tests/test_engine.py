@@ -9,7 +9,11 @@ from repro.distributed import (
     ClusterSpec,
     CostModel,
     GiraphEngine,
+    MessageBatch,
+    MessageSchema,
     SumCombiner,
+    counter_random,
+    counter_random_array,
     sizeof_payload,
 )
 
@@ -187,6 +191,170 @@ class TestAccounting:
         engine.load({0: {}})
         result = engine.run(EchoProgram({}), max_supersteps=3)
         assert set(result.metrics.by_phase()) == {"step0", "step1", "step2"}
+
+
+class TestActiveVertices:
+    """active_vertices counts vertices that computed and did work — not
+    just vertices with non-empty mailboxes (regression: superstep 0 read 0
+    even though every vertex ran and sent)."""
+
+    def test_superstep0_senders_are_active(self):
+        adjacency = {i: [(i + 1) % 6] for i in range(6)}
+        engine = GiraphEngine(ClusterSpec(num_workers=2), seed=1)
+        engine.load({v: {} for v in range(6)})
+        result = engine.run(EchoProgram(adjacency), max_supersteps=2)
+        assert result.metrics.supersteps[0].active_vertices == 6
+        assert result.metrics.supersteps[1].active_vertices == 6  # receivers
+
+    def test_aggregating_without_messages_is_active(self):
+        class AggOnly:
+            def phase_name(self, superstep):
+                return "agg"
+
+            def compute(self, ctx, vid, state, messages):
+                ctx.aggregate("seen", "count", 1.0)
+
+        engine = GiraphEngine(ClusterSpec(num_workers=2), seed=0)
+        engine.load({v: {} for v in range(5)})
+        result = engine.run(AggOnly(), max_supersteps=1)
+        assert result.metrics.supersteps[0].active_vertices == 5
+
+    def test_idle_vertices_are_inactive(self):
+        class Idle:
+            def phase_name(self, superstep):
+                return "idle"
+
+            def compute(self, ctx, vid, state, messages):
+                pass
+
+        engine = GiraphEngine(ClusterSpec(num_workers=2), seed=0)
+        engine.load({v: {} for v in range(5)})
+        result = engine.run(Idle(), max_supersteps=1)
+        assert result.metrics.supersteps[0].active_vertices == 0
+
+
+class TestCounterRandomArray:
+    def test_matches_scalar_bitwise(self):
+        vids = np.array([0, 1, 7, 123456, 2**31, 999_999_999])
+        for superstep in (0, 3, 17):
+            for draw in (0, 1, 5):
+                vector = counter_random_array(42, superstep, vids, draw)
+                scalar = [counter_random(42, superstep, int(v), draw) for v in vids]
+                assert vector.tolist() == scalar
+
+    def test_uniform_range(self):
+        draws = counter_random_array(7, 2, np.arange(1000))
+        assert draws.min() >= 0.0 and draws.max() < 1.0
+        assert 0.4 < draws.mean() < 0.6
+
+
+PAIR_SCHEMA = MessageSchema("pair", (("a", "<i4"), ("b", "<f8")))
+RAGGED_SCHEMA = MessageSchema(
+    "ragged", (("id", "<i8"),), entry_fields=(("val", "<i4"),)
+)
+
+
+class TestMessageBatch:
+    def test_fixed_schema_sizes(self):
+        batch = MessageBatch(
+            PAIR_SCHEMA,
+            np.array([3, 5, 5]),
+            {"a": np.array([1, 2, 3], dtype=np.int32), "b": np.zeros(3)},
+        )
+        assert len(batch) == 3
+        assert batch.per_message_nbytes().tolist() == [12.0, 12.0, 12.0]
+        assert batch.nbytes == 36
+
+    def test_variable_entries_meter_by_dtype(self):
+        batch = MessageBatch(
+            RAGGED_SCHEMA,
+            np.array([0, 1]),
+            {"id": np.array([10, 11])},
+            entry_start=np.array([0, 2]),
+            entry_len=np.array([2, 3]),
+            entries={"val": np.arange(5, dtype=np.int32)},
+        )
+        # 8-byte header + 4 bytes per entry.
+        assert batch.per_message_nbytes().tolist() == [16.0, 20.0]
+        positions, lengths = batch.entry_positions(np.array([1, 0]))
+        assert positions.tolist() == [2, 3, 4, 0, 1]
+        assert lengths.tolist() == [3, 2]
+
+    def test_schema_measure_matches_batch(self):
+        payload = ("q", 4, 1.0, {0: 1, 2: 3})
+        from repro.distributed_shp import NDATA_SCHEMA
+
+        batch = MessageBatch(
+            NDATA_SCHEMA,
+            np.array([0]),
+            {"query": np.array([4]), "weight": np.array([1.0])},
+            entry_start=np.array([0]),
+            entry_len=np.array([2]),
+            entries={
+                "bucket": np.array([0, 2], dtype=np.int32),
+                "count": np.array([1, 3], dtype=np.int32),
+            },
+        )
+        assert NDATA_SCHEMA.measure(payload) == batch.nbytes == 16 + 2 * 8
+
+    def test_split_routes_rows_and_shares_pool(self):
+        batch = MessageBatch(
+            RAGGED_SCHEMA,
+            np.array([0, 1, 2, 3]),
+            {"id": np.arange(4)},
+            entry_start=np.array([0, 0, 2, 2]),
+            entry_len=np.array([2, 2, 1, 1]),
+            entries={"val": np.arange(3, dtype=np.int32)},
+        )
+        groups = np.array([1, 0, 1, 0])
+        parts = batch.split(groups, 2)
+        assert sorted(parts) == [0, 1]
+        assert parts[0].dst.tolist() == [1, 3]
+        assert parts[1].dst.tolist() == [0, 2]
+        assert parts[0].entries["val"] is batch.entries["val"]  # shared pool
+
+    def test_misaligned_entry_arrays_rejected(self):
+        with pytest.raises(ValueError, match="entry_len"):
+            MessageBatch(
+                RAGGED_SCHEMA,
+                np.array([0, 1]),
+                {"id": np.array([1, 2])},
+                entry_start=np.array([0, 1]),
+                entry_len=np.array([1]),
+                entries={"val": np.arange(2, dtype=np.int32)},
+            )
+
+    def test_batch_programs_reject_combiners(self):
+        from repro.distributed_shp import SHPColumnarProgram
+
+        engine = GiraphEngine(ClusterSpec(num_workers=1), seed=0)
+        engine.load({0: {"kind": 0, "vid": 0, "bucket": 0}})
+        program = SHPColumnarProgram.__new__(SHPColumnarProgram)
+        with pytest.raises(ValueError, match="combiner"):
+            engine.run(program, max_supersteps=1, combiner=SumCombiner())
+
+    def test_compact_deduplicates_shared_rows(self):
+        pool = np.arange(10, dtype=np.int32)
+        batch = MessageBatch(
+            RAGGED_SCHEMA,
+            np.array([0, 1, 2]),
+            {"id": np.arange(3)},
+            entry_start=np.array([4, 4, 8]),
+            entry_len=np.array([3, 3, 2]),
+            entries={"val": pool},
+        )
+        compacted = batch.compact()
+        assert compacted.entries["val"].tolist() == [4, 5, 6, 8, 9]
+        # Logical content identical message by message.
+        for i in range(3):
+            pos_a, _ = batch.entry_positions(np.array([i]))
+            pos_b, _ = compacted.entry_positions(np.array([i]))
+            assert batch.entries["val"][pos_a].tolist() == (
+                compacted.entries["val"][pos_b].tolist()
+            )
+        assert np.array_equal(
+            batch.per_message_nbytes(), compacted.per_message_nbytes()
+        )
 
 
 class TestSizeof:

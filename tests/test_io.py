@@ -54,11 +54,48 @@ class TestHMetis:
         # First hyperedge is {0,1,5} -> "1 2 6" in 1-based format.
         assert sorted(int(x) for x in lines[1].split()) == [1, 2, 6]
 
-    def test_edge_weights_skipped(self):
+    def test_edge_weights_become_query_weights(self):
+        """fmt 1 hyperedge weights map onto SHP's traffic query_weights
+        (they used to be silently discarded)."""
         text = "2 3 1\n7 1 2\n9 2 3\n"
         loaded = read_hmetis(io.StringIO(text))
         assert loaded.num_queries == 2
         assert sorted(loaded.query_neighbors(0).tolist()) == [0, 1]
+        assert loaded.query_weights is not None
+        assert np.allclose(loaded.query_weights, [7.0, 9.0])
+
+    def test_query_weight_write_read_round_trip_fmt1(self):
+        qw = np.array([3.0, 1.5])
+        g = BipartiteGraph.from_hyperedges(
+            [[0, 1], [1, 2]], num_data=3, query_weights=qw
+        )
+        buffer = io.StringIO()
+        write_hmetis(g, buffer)
+        assert buffer.getvalue().splitlines()[0] == "2 3 1"
+        buffer.seek(0)
+        loaded = read_hmetis(buffer)
+        assert np.allclose(loaded.query_weights, qw)
+        assert loaded.data_weights is None
+        assert _graphs_equal(g, loaded)
+
+    def test_both_weights_round_trip_fmt11(self):
+        qw = np.array([2.0, 5.0])
+        dw = np.array([1.0, 4.0, 2.0])
+        g = BipartiteGraph.from_hyperedges(
+            [[0, 1], [1, 2]], num_data=3, data_weights=dw, query_weights=qw
+        )
+        buffer = io.StringIO()
+        write_hmetis(g, buffer)
+        assert buffer.getvalue().splitlines()[0] == "2 3 11"
+        buffer.seek(0)
+        loaded = read_hmetis(buffer)
+        assert np.allclose(loaded.query_weights, qw)
+        assert np.allclose(loaded.data_weights, dw)
+        assert _graphs_equal(g, loaded)
+
+    def test_missing_edge_weight_rejected(self):
+        with pytest.raises(GraphValidationError):
+            read_hmetis(io.StringIO("1 2 1\n\n"))
 
     def test_truncated_file_rejected(self):
         with pytest.raises(GraphValidationError):
@@ -104,3 +141,19 @@ class TestNpz:
         save_npz(g, path)
         loaded = load_npz(path)
         assert np.allclose(loaded.data_weights, w)
+
+    def test_round_trip_with_query_weights(self, tmp_path):
+        """A weighted-traffic graph must come back weighted (query_weights
+        used to be silently dropped by the NPZ checkpoint path)."""
+        qw = np.array([5.0, 0.25])
+        dw = np.array([1.0, 3.0, 1.0])
+        g = BipartiteGraph.from_hyperedges(
+            [[0, 1], [1, 2]], num_data=3, data_weights=dw, query_weights=qw
+        )
+        path = tmp_path / "qw.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        assert loaded.query_weights is not None
+        assert np.allclose(loaded.query_weights, qw)
+        assert np.allclose(loaded.data_weights, dw)
+        assert _graphs_equal(g, loaded)

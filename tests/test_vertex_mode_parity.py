@@ -1,0 +1,97 @@
+"""Cross-backend × vertex-mode parity for distributed SHP.
+
+The columnar fast path is only a fast path if it is *invisible*: for a
+given seed, every cell of {sim, mp} × {dict, columnar} × {mode "2", mode
+"k"} × {unweighted, query-weighted} must produce bitwise-identical
+assignments and identical message/byte meters.  The dict/sim cell is the
+reference; every other cell is compared against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SHPConfig
+from repro.distributed import ClusterSpec
+from repro.distributed_shp import DistributedSHP
+from repro.hypergraph import BipartiteGraph, community_bipartite
+
+
+def _weighted(graph: BipartiteGraph, seed: int = 11) -> BipartiteGraph:
+    rng = np.random.default_rng(seed)
+    return BipartiteGraph(
+        num_queries=graph.num_queries,
+        num_data=graph.num_data,
+        q_indptr=graph.q_indptr,
+        q_indices=graph.q_indices,
+        d_indptr=graph.d_indptr,
+        d_indices=graph.d_indices,
+        query_weights=np.round(rng.uniform(0.5, 4.0, graph.num_queries), 3),
+        name="weighted",
+    )
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    base = community_bipartite(140, 190, 1300, num_communities=8, mixing=0.2, seed=4)
+    return {"unweighted": base, "query-weighted": _weighted(base)}
+
+
+def _config() -> SHPConfig:
+    return SHPConfig(
+        k=4, seed=5, iterations_per_bisection=3, max_iterations=3,
+        swap_mode="bernoulli",
+    )
+
+
+def _run(graph, mode, backend, vertex_mode):
+    job = DistributedSHP(
+        _config(),
+        cluster=ClusterSpec(num_workers=3),
+        mode=mode,
+        backend=backend,
+        vertex_mode=vertex_mode,
+    )
+    return job.run(graph)
+
+
+@pytest.fixture(scope="module")
+def references(graphs):
+    return {
+        (mode, weighting): _run(graphs[weighting], mode, "sim", "dict")
+        for mode in ("2", "k")
+        for weighting in ("unweighted", "query-weighted")
+    }
+
+
+@pytest.mark.parametrize("backend", ["sim", "mp"])
+@pytest.mark.parametrize("vertex_mode", ["dict", "columnar"])
+@pytest.mark.parametrize("mode", ["2", "k"])
+@pytest.mark.parametrize("weighting", ["unweighted", "query-weighted"])
+class TestVertexModeParity:
+    def test_cell_matches_reference(
+        self, graphs, references, backend, vertex_mode, mode, weighting
+    ):
+        if (backend, vertex_mode) == ("sim", "dict"):
+            pytest.skip("reference cell")
+        reference = references[(mode, weighting)]
+        run = _run(graphs[weighting], mode, backend, vertex_mode)
+
+        assert np.array_equal(run.assignment, reference.assignment)
+        assert run.supersteps == reference.supersteps
+        assert run.cycles == reference.cycles
+        assert run.moved_history == reference.moved_history
+
+        for step, ref in zip(run.metrics.supersteps, reference.metrics.supersteps):
+            assert step.phase == ref.phase
+            assert step.messages_local == ref.messages_local
+            assert step.messages_remote == ref.messages_remote
+            assert step.bytes_local == ref.bytes_local
+            assert step.bytes_remote == ref.bytes_remote
+            assert step.active_vertices == ref.active_vertices
+            assert np.array_equal(step.messages_per_worker, ref.messages_per_worker)
+            assert np.array_equal(
+                step.remote_bytes_per_worker, ref.remote_bytes_per_worker
+            )
+            assert np.array_equal(step.ops_per_worker, ref.ops_per_worker)
