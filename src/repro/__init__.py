@@ -72,5 +72,22 @@ __all__ = [
     "average_pfanout",
     "evaluate_partition",
     "get_objective",
+    "JobSpec",
+    "run",
+    "RunReport",
+    "load_run",
     "__version__",
 ]
+
+_API_NAMES = {"JobSpec", "run", "RunReport", "load_run"}
+
+
+def __getattr__(name: str):
+    # Job-spec API surface, forwarded lazily: `repro.run` pulls in every
+    # subsystem (baselines, engine, serving), so it must not tax
+    # lightweight `import repro` users.
+    if name in _API_NAMES:
+        from . import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,76 @@
+"""Unified job-spec API: declarative :class:`JobSpec` → :func:`run`.
+
+The one configuration surface for the whole pipeline::
+
+    from repro.api import JobSpec, run
+
+    spec = JobSpec.from_file("examples/jobs/pokec_shp2.toml",
+                             overrides=["algorithm.k=16"])
+    report = run(spec)
+
+See :mod:`repro.api.spec` for the spec tree, :mod:`repro.api.runner` for
+execution and run artifacts, and :mod:`repro.api.registry` for the
+decorator registries (partitioners, objectives, backends, matchers) that
+make new implementations addressable by name from any spec.
+"""
+
+from __future__ import annotations
+
+from .registry import BACKENDS, MATCHERS, OBJECTIVES, PARTITIONERS, Registry
+from .spec import (
+    AlgorithmSpec,
+    ExecutionSpec,
+    GraphSpec,
+    JobSpec,
+    OutputSpec,
+    ServingSpec,
+    SpecError,
+    apply_overrides,
+    load_spec,
+    parse_override,
+)
+
+__all__ = [
+    "Registry",
+    "PARTITIONERS",
+    "OBJECTIVES",
+    "BACKENDS",
+    "MATCHERS",
+    "SpecError",
+    "GraphSpec",
+    "AlgorithmSpec",
+    "ExecutionSpec",
+    "ServingSpec",
+    "OutputSpec",
+    "JobSpec",
+    "load_spec",
+    "parse_override",
+    "apply_overrides",
+    "run",
+    "RunReport",
+    "RunArtifacts",
+    "load_run",
+    "load_graph_spec",
+    "smoke_spec",
+]
+
+_RUNNER_NAMES = {
+    "run",
+    "RunReport",
+    "RunArtifacts",
+    "load_run",
+    "load_graph_spec",
+    "smoke_spec",
+}
+
+
+def __getattr__(name: str):
+    # The runner pulls in the whole package (baselines, engine, serving);
+    # importing it lazily keeps `repro.api.registry` / `repro.api.spec`
+    # import-light so implementation modules can register themselves
+    # without circular imports.
+    if name in _RUNNER_NAMES:
+        from . import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

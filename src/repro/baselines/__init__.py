@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..api.registry import PARTITIONERS
 from ..core.result import PartitionResult
 from ..core.shp_2 import shp_2
 from ..core.shp_k import shp_k
@@ -55,11 +56,23 @@ __all__ = [
 
 Partitioner = Callable[..., PartitionResult]
 
+# Registration order is comparison-table order.  ``accepts`` names the
+# algorithm knobs beyond (k, epsilon, seed) the entry understands — the
+# runner routes JobSpec fields by this metadata instead of name checks —
+# and ``engine_mode`` marks entries runnable on the vertex-centric engine.
+PARTITIONERS.register("random")(random_partitioner)
+PARTITIONERS.register("hash")(hash_partitioner)
+PARTITIONERS.register("label-prop")(label_propagation_partitioner)
 
+
+@PARTITIONERS.register("shp-k", accepts=("p", "objective"), engine_mode="k")
 def _shp_k(graph: BipartiteGraph, k: int, epsilon: float = 0.05, seed: int = 0, **kw):
     return shp_k(graph, k, epsilon=epsilon, seed=seed, **kw)
 
 
+@PARTITIONERS.register(
+    "shp-2", accepts=("p", "objective", "level_mode"), engine_mode="2"
+)
 def _shp_2(graph: BipartiteGraph, k: int, epsilon: float = 0.05, seed: int = 0, **kw):
     return shp_2(graph, k, epsilon=epsilon, seed=seed, **kw)
 
@@ -71,31 +84,23 @@ def _multilevel(style: str):
     return run
 
 
+PARTITIONERS.register("mondriaan-like")(_multilevel("mondriaan"))
+PARTITIONERS.register("zoltan-like")(_multilevel("zoltan"))
+
+
+@PARTITIONERS.register("parkway-like")
 def _parkway(graph: BipartiteGraph, k: int, epsilon: float = 0.05, seed: int = 0, **_):
     return ParkwayLikePartitioner(k=k, epsilon=epsilon, seed=seed).partition(graph)
 
 
-_REGISTRY: dict[str, Partitioner] = {
-    "random": random_partitioner,
-    "hash": hash_partitioner,
-    "label-prop": label_propagation_partitioner,
-    "shp-k": _shp_k,
-    "shp-2": _shp_2,
-    "mondriaan-like": _multilevel("mondriaan"),
-    "zoltan-like": _multilevel("zoltan"),
-    "parkway-like": _parkway,
-    "spectral": spectral_partitioner,
-}
+PARTITIONERS.register("spectral")(spectral_partitioner)
 
 
 def partitioner_names() -> list[str]:
     """All registry names, in comparison-table order."""
-    return list(_REGISTRY)
+    return PARTITIONERS.names()
 
 
 def get_partitioner(name: str) -> Partitioner:
     """Look up a partitioner by registry name."""
-    key = name.lower()
-    if key not in _REGISTRY:
-        raise KeyError(f"unknown partitioner {name!r}; known: {', '.join(_REGISTRY)}")
-    return _REGISTRY[key]
+    return PARTITIONERS.get(name)

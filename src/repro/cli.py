@@ -1,209 +1,230 @@
-"""Command-line interface: partition, evaluate, and generate hypergraphs.
+"""Command-line interface: one declarative runner behind every subcommand.
 
 Usage (also via ``python -m repro``):
 
-    repro partition INPUT.hgr -k 16 --algorithm shp-2 -o assignment.txt
+    repro run job.toml --set algorithm.k=16
+    repro partition INPUT.hgr -k 16 --algorithm shp-2 -o assignment.npz
     repro partition INPUT.hgr -k 16 --backend mp --workers 4
     repro evaluate INPUT.hgr assignment.txt -k 16
-    repro compare INPUT.hgr -k 16
+    repro compare INPUT.hgr -k 16 --objective cliquenet
     repro generate soc-Pokec --scale 0.01 -o pokec.hgr
     repro serve-sim --servers 16 --rounds 3 --queries 2000
     repro datasets
 
-Input formats are detected from the extension: ``.hgr`` (hMetis), ``.tsv``
-(query/data edge list), ``.npz`` (this package's archive format).
-Assignments are plain text, one bucket id per data vertex per line.
+Every execution subcommand (``run``, ``partition``, ``compare``,
+``serve-sim``) builds a :class:`repro.api.JobSpec` and calls the same
+:func:`repro.api.run` runner, so legacy flags and spec files produce
+bitwise-identical assignments per seed.  Input formats are detected from
+the extension: ``.hgr`` (hMetis), ``.tsv`` (query/data edge list), ``.npz``
+(this package's archive format).  Assignments are written as plain text
+(one bucket id per line) or as an ``.npz`` archive, by output extension.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
-import time
 from pathlib import Path
 
-import numpy as np
-
-from .baselines import get_partitioner, partitioner_names
+from .api import (
+    AlgorithmSpec,
+    ExecutionSpec,
+    GraphSpec,
+    JobSpec,
+    OutputSpec,
+    ServingSpec,
+    SpecError,
+)
+from .api.registry import BACKENDS, OBJECTIVES, PARTITIONERS
+from .api.spec import VERTEX_MODES
 from .bench import format_table
 from .hypergraph import (
     DATASETS,
-    BipartiteGraph,
+    GraphValidationError,
     dataset_names,
     graph_stats,
     load_dataset,
-    load_npz,
-    read_edge_list,
-    read_hmetis,
-    save_npz,
-    write_edge_list,
-    write_hmetis,
+    load_graph,
+    save_graph,
 )
-from .objectives import evaluate_partition
 
 __all__ = ["main"]
 
 
-def _load_graph(path: str) -> BipartiteGraph:
-    suffix = Path(path).suffix.lower()
-    if suffix == ".hgr":
-        return read_hmetis(path, name=Path(path).stem)
-    if suffix in (".tsv", ".txt", ".edges"):
-        return read_edge_list(path, name=Path(path).stem)
-    if suffix == ".npz":
-        return load_npz(path)
-    raise SystemExit(f"unrecognized graph format {suffix!r} (use .hgr, .tsv, or .npz)")
+def _api_run(spec: JobSpec, graph=None, smoke: bool = False):
+    """Invoke the runner, converting API errors into CLI exits."""
+    from .api import run
+
+    try:
+        return run(spec, graph=graph, smoke=smoke)
+    except (SpecError, GraphValidationError, KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        raise SystemExit(f"error: {message}") from exc
 
 
-def _save_graph(graph: BipartiteGraph, path: str) -> None:
-    suffix = Path(path).suffix.lower()
-    if suffix == ".hgr":
-        write_hmetis(graph, path)
-    elif suffix in (".tsv", ".txt", ".edges"):
-        write_edge_list(graph, path)
-    elif suffix == ".npz":
-        save_npz(graph, path)
-    else:
-        raise SystemExit(f"unrecognized output format {suffix!r}")
+def _build_spec(build):
+    """Build a JobSpec from legacy flags, exiting cleanly on validation errors."""
+    try:
+        return build()
+    except SpecError as exc:
+        raise SystemExit(f"error: {exc}") from exc
 
 
-def _cmd_partition(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.input).remove_small_queries()
-    start = time.perf_counter()
-    if args.backend == "local":
-        partitioner = get_partitioner(args.algorithm)
-        kwargs: dict = {"k": args.k, "epsilon": args.epsilon, "seed": args.seed}
-        if args.algorithm in ("shp-2", "shp-k"):
-            kwargs["p"] = args.p
-            if args.objective != "pfanout":
-                kwargs["objective"] = args.objective
-        if args.algorithm == "shp-2":
-            kwargs["level_mode"] = args.level_mode
-        result = partitioner(graph, **kwargs)
-        label = args.algorithm
-    else:
-        result = _run_distributed(args, graph)
-        label = f"{args.algorithm}@{args.backend}x{args.workers}"
-    elapsed = time.perf_counter() - start
-    quality = evaluate_partition(graph, result.assignment, args.k)
-    if args.output:
-        Path(args.output).write_text(
-            "\n".join(str(int(b)) for b in result.assignment) + "\n"
-        )
-        print(f"assignment written to {args.output}")
-    print(format_table([{"algorithm": label, "sec": round(elapsed, 2),
-                         **quality.row()}], title=f"{graph.name or args.input}"))
+def _file_graph_spec(path: str) -> GraphSpec:
+    return GraphSpec(source="file", path=str(path))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Execute one or more declarative job-spec files."""
+    for spec_path in args.spec:
+        try:
+            spec = JobSpec.from_file(spec_path, overrides=args.overrides)
+        except SpecError as exc:
+            raise SystemExit(f"error: {spec_path}: {exc}") from exc
+        report = _api_run(spec, smoke=args.smoke)
+        print(format_table(report.rows, title=report.title()))
+        if spec.output.assignment:
+            print(f"assignment written to {spec.output.assignment}")
+        if report.artifacts is not None:
+            print(f"run artifacts written to {report.artifacts}/")
     return 0
 
 
-def _run_distributed(args: argparse.Namespace, graph: BipartiteGraph):
-    """Run SHP on the vertex-centric engine with the chosen backend."""
-    from .core.config import SHPConfig
-    from .distributed import ClusterSpec
-    from .distributed_shp import DistributedSHP
-
-    if args.algorithm not in ("shp-2", "shp-k"):
-        raise SystemExit(
-            f"--backend {args.backend} supports shp-2 / shp-k "
-            f"(got {args.algorithm!r}); other algorithms run with --backend local"
-        )
-    if args.workers < 1:
-        raise SystemExit("--workers must be at least 1")
-    mode = "2" if args.algorithm == "shp-2" else "k"
-    config = SHPConfig(
-        k=args.k, p=args.p, objective=args.objective, epsilon=args.epsilon,
-        seed=args.seed, swap_mode="bernoulli",
-    )
-    cluster = ClusterSpec(num_workers=args.workers)
-    job = DistributedSHP(
-        config,
-        cluster=cluster,
-        mode=mode,
-        backend=args.backend,
-        vertex_mode=args.vertex_mode,
-    )
-    return job.run(graph)
+def _cmd_partition(args: argparse.Namespace) -> int:
+    spec = _build_spec(lambda: JobSpec(
+        kind="partition",
+        seed=args.seed,
+        graph=_file_graph_spec(args.input),
+        algorithm=AlgorithmSpec(
+            name=args.algorithm,
+            k=args.k,
+            epsilon=args.epsilon,
+            p=args.p,
+            objective=args.objective,
+            level_mode=args.level_mode,
+        ),
+        execution=ExecutionSpec(
+            backend=args.backend, workers=args.workers, vertex_mode=args.vertex_mode
+        ),
+        output=OutputSpec(assignment=args.output),
+    ))
+    report = _api_run(spec)
+    if args.output:
+        print(f"assignment written to {args.output}")
+    print(format_table(report.rows, title=f"{report.graph_name or args.input}"))
+    return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.input)
-    assignment = np.loadtxt(args.assignment, dtype=np.int64)
-    if assignment.ndim == 0:
-        assignment = assignment.reshape(1)
+    from .core.persistence import load_assignment
+    from .objectives import evaluate_partition
+
+    try:
+        graph = load_graph(args.input)
+    except GraphValidationError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    assignment, stored_k = load_assignment(args.assignment)
     if assignment.size != graph.num_data:
         raise SystemExit(
             f"assignment has {assignment.size} entries, graph has {graph.num_data} data vertices"
         )
-    k = args.k if args.k else int(assignment.max()) + 1
-    quality = evaluate_partition(graph, assignment.astype(np.int32), k)
+    k = args.k or stored_k or int(assignment.max()) + 1
+    try:
+        quality = evaluate_partition(graph, assignment.astype("int32"), k)
+    except GraphValidationError as exc:
+        raise SystemExit(f"error: {exc}") from exc
     print(format_table([quality.row()], title=f"{graph.name or args.input}"))
     return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    _save_graph(graph, args.output)
+    try:
+        save_graph(graph, args.output)
+    except GraphValidationError as exc:
+        raise SystemExit(f"error: {exc}") from exc
     stats = graph_stats(graph)
     print(format_table([stats.row()], title=f"generated {args.dataset} -> {args.output}"))
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.input).remove_small_queries()
+    """Run several partitioners through the shared runner and rank by fanout.
+
+    Every algorithm knob (-p, --objective, --level-mode) is routed through
+    the same JobSpec path as ``partition``, so SHP variants honor them here
+    too instead of silently running with defaults.
+    """
     names = args.algorithms or ["random", "label-prop", "shp-2", "shp-k", "mondriaan-like"]
+    base = _build_spec(lambda: JobSpec(
+        kind="partition",
+        seed=args.seed,
+        graph=_file_graph_spec(args.input),
+        algorithm=AlgorithmSpec(
+            k=args.k,
+            epsilon=args.epsilon,
+            p=args.p,
+            objective=args.objective,
+            level_mode=args.level_mode,
+        ),
+    ))
+    # Load (and prune) once; run(graph=...) skips the per-spec file reload.
+    try:
+        graph = load_graph(args.input).remove_small_queries()
+    except GraphValidationError as exc:
+        raise SystemExit(f"error: {exc}") from exc
     rows = []
     for name in names:
-        start = time.perf_counter()
-        result = get_partitioner(name)(
-            graph, k=args.k, epsilon=args.epsilon, seed=args.seed
+        spec = base.with_(
+            algorithm=dataclasses.replace(base.algorithm, name=name)
         )
-        elapsed = time.perf_counter() - start
-        quality = evaluate_partition(graph, result.assignment, args.k)
-        rows.append({"algorithm": name, "sec": round(elapsed, 2), **quality.row()})
+        report = _api_run(spec, graph=graph)
+        rows.extend(report.rows)
     rows.sort(key=lambda row: row["fanout"])
-    print(format_table(rows, title=f"{graph.name or args.input} (k={args.k})"))
+    title = f"{Path(args.input).stem} (k={args.k})"
+    print(format_table(rows, title=title))
     return 0
 
 
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     """Run the online serving loop: replay → churn → in-budget repair → replay."""
-    from .sharding import LatencyModel
-    from .workloads import ServingConfig, ServingSimulator
-
-    if args.input:
-        graph = _load_graph(args.input).remove_small_queries()
-    else:
-        from .hypergraph import darwini_bipartite
-
-        graph = darwini_bipartite(
-            args.users, avg_degree=args.avg_degree, clustering=0.4, seed=args.seed
-        )
-        print(f"generated Darwini-like workload: {graph}")
-    config = ServingConfig(
-        num_servers=args.servers,
-        rounds=args.rounds,
-        queries_per_round=args.queries,
-        skew=args.skew,
-        churn_fraction=args.churn,
-        migration_budget=args.budget,
-        repair_iterations=args.repair_iterations,
-        method=args.method,
+    spec = _build_spec(lambda: JobSpec(
+        kind="serving",
         seed=args.seed,
-    )
-    model = LatencyModel(base_ms=1.0, sigma=1.0, size_ms_per_record=0.02)
-    outcome = ServingSimulator(graph, config, latency_model=model).run()
+        graph=(
+            _file_graph_spec(args.input)
+            if args.input
+            else GraphSpec(
+                source="darwini", users=args.users, avg_degree=args.avg_degree
+            )
+        ),
+        serving=ServingSpec(
+            servers=args.servers,
+            rounds=args.rounds,
+            queries_per_round=args.queries,
+            skew=args.skew,
+            churn_fraction=args.churn,
+            migration_budget=args.budget,
+            repair_iterations=args.repair_iterations,
+            method=args.method,
+        ),
+    ))
+    report = _api_run(spec)
+    if not args.input:
+        print(f"generated Darwini-like workload: {report.graph_name or 'workload'}")
     print(
         format_table(
-            outcome.rows(),
+            report.rows,
             title=(
-                f"serving loop on {graph.name or 'workload'} — {args.servers} servers, "
+                f"serving loop on {report.graph_name or 'workload'} — {args.servers} servers, "
                 f"{100 * args.churn:.0f}% churn/round, {100 * args.budget:.0f}% migration budget"
             ),
         )
     )
     print(
         f"total records migrated across {args.rounds} rounds: "
-        f"{outcome.total_migrated()} of {graph.num_data}"
+        f"{report.meters['total_migrated']} of {report.meters['records']}"
     )
     return 0
 
@@ -223,6 +244,22 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+def _add_algorithm_knobs(parser: argparse.ArgumentParser) -> None:
+    """Shared algorithm flags (identical semantics in partition and compare)."""
+    parser.add_argument("--epsilon", type=float, default=0.05, help="imbalance bound")
+    parser.add_argument("-p", type=float, default=0.5, help="fanout probability")
+    parser.add_argument(
+        "--objective", default="pfanout", choices=OBJECTIVES.names(),
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--level-mode", default="fused", choices=["fused", "loop"],
+        help="SHP-2 recursion-level execution: 'fused' refines every "
+        "bisection of a level in one vectorized pass (default), 'loop' "
+        "runs the reference per-group subgraph path",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree (exposed for docs and tests)."""
     parser = argparse.ArgumentParser(
@@ -231,27 +268,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    r = sub.add_parser(
+        "run", help="execute a declarative job spec (TOML/JSON; see examples/jobs/)"
+    )
+    r.add_argument("spec", nargs="+", help="job spec file(s)")
+    r.add_argument(
+        "--set", dest="overrides", action="append", default=[], metavar="KEY=VALUE",
+        help="override a spec field by dotted path (e.g. --set algorithm.k=16); repeatable",
+    )
+    r.add_argument(
+        "--smoke", action="store_true",
+        help="shrink the job for CI smoke runs (same code paths, tiny budgets)",
+    )
+    r.set_defaults(func=_cmd_run)
+
     p = sub.add_parser("partition", help="partition a hypergraph")
     p.add_argument("input", help="graph file (.hgr / .tsv / .npz)")
     p.add_argument("-k", type=int, required=True, help="number of buckets")
     p.add_argument(
-        "--algorithm", default="shp-2", choices=partitioner_names(),
+        "--algorithm", default="shp-2", choices=PARTITIONERS.names(),
         help="partitioner (default: shp-2)",
     )
-    p.add_argument("--epsilon", type=float, default=0.05, help="imbalance bound")
-    p.add_argument("-p", type=float, default=0.5, help="fanout probability")
+    _add_algorithm_knobs(p)
     p.add_argument(
-        "--objective", default="pfanout", choices=["pfanout", "fanout", "cliquenet"],
-    )
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument(
-        "--level-mode", default="fused", choices=["fused", "loop"],
-        help="SHP-2 recursion-level execution: 'fused' refines every "
-        "bisection of a level in one vectorized pass (default), 'loop' "
-        "runs the reference per-group subgraph path",
-    )
-    p.add_argument(
-        "--backend", default="local", choices=["local", "sim", "mp"],
+        "--backend", default="local", choices=["local", *BACKENDS.names()],
         help="execution backend: 'local' (in-process vectorized optimizer), "
         "'sim' (vertex-centric engine, simulated workers), "
         "'mp' (vertex-centric engine, one OS process per worker)",
@@ -261,28 +301,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster worker count for --backend sim/mp (default: 4)",
     )
     p.add_argument(
-        "--vertex-mode", default="columnar", choices=["columnar", "dict"],
+        "--vertex-mode", default="columnar", choices=list(VERTEX_MODES),
         help="vertex execution for --backend sim/mp: 'columnar' runs each "
         "protocol phase as vectorized kernels over typed message batches "
         "(default), 'dict' is the per-vertex reference path; both are "
         "bitwise-identical per seed",
     )
-    p.add_argument("-o", "--output", help="write assignment (one bucket per line)")
+    p.add_argument(
+        "-o", "--output",
+        help="write assignment (.npz archive, or plain text one bucket per line)",
+    )
     p.set_defaults(func=_cmd_partition)
 
     e = sub.add_parser("evaluate", help="evaluate an existing assignment")
     e.add_argument("input", help="graph file")
-    e.add_argument("assignment", help="assignment file (one bucket id per line)")
-    e.add_argument("-k", type=int, default=0, help="bucket count (default: max+1)")
+    e.add_argument("assignment", help="assignment file (.npz, or one bucket id per line)")
+    e.add_argument("-k", type=int, default=0, help="bucket count (default: stored or max+1)")
     e.set_defaults(func=_cmd_evaluate)
 
     c = sub.add_parser("compare", help="run several partitioners and rank by fanout")
     c.add_argument("input", help="graph file")
     c.add_argument("-k", type=int, required=True)
-    c.add_argument("--epsilon", type=float, default=0.05)
-    c.add_argument("--seed", type=int, default=0)
+    _add_algorithm_knobs(c)
     c.add_argument(
-        "--algorithms", nargs="*", choices=partitioner_names(),
+        "--algorithms", nargs="*", choices=PARTITIONERS.names(),
         help="subset to compare (default: a representative five)",
     )
     c.set_defaults(func=_cmd_compare)

@@ -11,7 +11,7 @@ from .incremental import (
     incremental_update,
 )
 from .multidim import MultiDimResult, merge_buckets_balanced, partition_multidim
-from .persistence import load_result, save_result
+from .persistence import load_assignment, load_result, save_assignment, save_result
 from .partition import (
     balanced_random_assignment,
     bucket_sizes,
@@ -65,6 +65,8 @@ __all__ = [
     "validate_assignment",
     "save_result",
     "load_result",
+    "save_assignment",
+    "load_assignment",
     "incremental_update",
     "budgeted_incremental_update",
     "IncrementalOutcome",

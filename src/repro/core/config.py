@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..api.registry import MATCHERS, OBJECTIVES
+
 __all__ = ["SHPConfig"]
 
 
@@ -110,8 +112,12 @@ class SHPConfig:
             raise ValueError("p must be in (0, 1]")
         if self.epsilon < 0:
             raise ValueError("epsilon must be non-negative")
-        if self.matcher not in ("histogram", "uniform"):
-            raise ValueError("matcher must be 'histogram' or 'uniform'")
+        if self.matcher not in MATCHERS:
+            raise ValueError(f"matcher must be one of {MATCHERS.names()}")
+        # Canonicalize registry names so downstream dispatch can rely on
+        # exact comparisons (e.g. objective == "cliquenet" for the alias
+        # "edge-cut"); frozen dataclass, hence object.__setattr__.
+        object.__setattr__(self, "matcher", MATCHERS.canonical(self.matcher))
         if self.swap_mode not in ("strict", "bernoulli"):
             raise ValueError("swap_mode must be 'strict' or 'bernoulli'")
         if self.level_mode not in ("fused", "loop"):
@@ -120,8 +126,9 @@ class SHPConfig:
             raise ValueError("move_damping must be in (0, 1]")
         if self.track_metrics not in ("none", "objective", "full"):
             raise ValueError("track_metrics must be 'none', 'objective' or 'full'")
-        if self.objective not in ("pfanout", "fanout", "cliquenet"):
-            raise ValueError("objective must be 'pfanout', 'fanout' or 'cliquenet'")
+        if self.objective not in OBJECTIVES:
+            raise ValueError(f"objective must be one of {OBJECTIVES.names()}")
+        object.__setattr__(self, "objective", OBJECTIVES.canonical(self.objective))
 
     def with_(self, **kwargs) -> "SHPConfig":
         """Return a copy with the given fields replaced."""

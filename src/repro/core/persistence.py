@@ -16,7 +16,40 @@ import numpy as np
 
 from .result import IterationStats, PartitionResult
 
-__all__ = ["save_result", "load_result"]
+__all__ = ["save_result", "load_result", "save_assignment", "load_assignment"]
+
+
+def save_assignment(path: str | Path, assignment: np.ndarray, k: int) -> Path:
+    """Write a bare assignment, binary or text by extension.
+
+    ``.npz`` stores a compact archive (``assignment`` + ``k``, the same
+    keys as :func:`save_result`); any other extension writes plain text,
+    one bucket id per data vertex per line.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".npz":
+        np.savez_compressed(path, assignment=np.asarray(assignment), k=np.int64(k))
+    else:
+        path.write_text("\n".join(str(int(b)) for b in assignment) + "\n")
+    return path
+
+
+def load_assignment(path: str | Path) -> tuple[np.ndarray, int | None]:
+    """Read an assignment written by :func:`save_assignment`.
+
+    Returns ``(assignment, k)``; ``k`` is ``None`` for text files (which
+    don't record it).
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".npz":
+        with np.load(path, allow_pickle=False) as archive:
+            assignment = archive["assignment"].astype(np.int64)
+            k = int(archive["k"]) if "k" in archive.files else None
+        return assignment, k
+    assignment = np.loadtxt(path, dtype=np.int64)
+    if assignment.ndim == 0:
+        assignment = assignment.reshape(1)
+    return assignment, None
 
 
 def save_result(result: PartitionResult, path: str | Path) -> Path:

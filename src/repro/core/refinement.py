@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api.registry import MATCHERS
 from ..hypergraph.bipartite import BipartiteGraph
 from ..objectives import (
     CliqueNetObjective,
@@ -69,10 +70,13 @@ def build_objective(
     return ScaledPFanout(p=p, splits_ahead=splits_ahead)
 
 
-def build_matcher(config: SHPConfig):
-    """Instantiate the configured swap matcher."""
-    if config.matcher == "uniform":
-        return UniformMatcher(swap_mode=config.swap_mode, damping=config.move_damping)
+@MATCHERS.register("uniform")
+def _uniform_matcher(config: SHPConfig) -> UniformMatcher:
+    return UniformMatcher(swap_mode=config.swap_mode, damping=config.move_damping)
+
+
+@MATCHERS.register("histogram")
+def _histogram_matcher(config: SHPConfig) -> HistogramMatcher:
     binning = GainBinning(num_bins=config.num_bins, min_gain=config.min_gain)
     return HistogramMatcher(
         binning,
@@ -80,6 +84,11 @@ def build_matcher(config: SHPConfig):
         swap_mode=config.swap_mode,
         damping=config.move_damping,
     )
+
+
+def build_matcher(config: SHPConfig):
+    """Instantiate the configured swap matcher (any registered name)."""
+    return MATCHERS.get(config.matcher)(config)
 
 
 def enforce_weighted_caps(

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api.registry import BACKENDS
 from .messages import Combiner, sizeof_payload
 from .metrics import JobMetrics, SuperstepMetrics
 
@@ -450,23 +451,36 @@ def _sizeof_state(state: dict) -> int:
     return total
 
 
+@BACKENDS.register("sim")
+def _make_sim() -> Backend:
+    return SimulatedBackend()
+
+
+@BACKENDS.register("mp")
+def _make_mp() -> Backend:
+    from .backend_mp import MultiprocessBackend
+
+    return MultiprocessBackend()
+
+
 def backend_names() -> list[str]:
     """Names accepted by :func:`resolve_backend` (and the CLI)."""
-    return ["sim", "mp"]
+    return BACKENDS.names()
 
 
 def resolve_backend(backend) -> Backend:
-    """Turn ``None`` / ``"sim"`` / ``"mp"`` / instance into a :class:`Backend`."""
+    """Turn ``None`` / a registered name / an instance into a :class:`Backend`.
+
+    Names resolve through :data:`repro.api.registry.BACKENDS`, so a new
+    substrate (e.g. an RPC backend) registered there is immediately
+    addressable from job specs and the CLI.
+    """
     if backend is None:
         return SimulatedBackend()
     if isinstance(backend, Backend):
         return backend
-    if backend == "sim":
-        return SimulatedBackend()
-    if backend == "mp":
-        from .backend_mp import MultiprocessBackend
-
-        return MultiprocessBackend()
+    if isinstance(backend, str) and backend in BACKENDS:
+        return BACKENDS.get(backend)()
     raise ValueError(
         f"unknown backend {backend!r} (expected one of {backend_names()} "
         "or a Backend instance)"

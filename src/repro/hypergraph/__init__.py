@@ -15,9 +15,11 @@ from .generators import (
 )
 from .hypergraph import Hypergraph
 from .io import (
+    load_graph,
     load_npz,
     read_edge_list,
     read_hmetis,
+    save_graph,
     save_npz,
     write_edge_list,
     write_hmetis,
@@ -54,6 +56,8 @@ __all__ = [
     "write_edge_list",
     "save_npz",
     "load_npz",
+    "load_graph",
+    "save_graph",
     "GraphStats",
     "graph_stats",
     "degree_histogram",

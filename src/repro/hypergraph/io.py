@@ -32,7 +32,47 @@ __all__ = [
     "read_edge_list",
     "save_npz",
     "load_npz",
+    "load_graph",
+    "save_graph",
 ]
+
+#: Extensions understood by :func:`load_graph` / :func:`save_graph`.
+GRAPH_SUFFIXES = (".hgr", ".tsv", ".txt", ".edges", ".npz")
+
+
+def load_graph(path: str | Path) -> BipartiteGraph:
+    """Load a graph, dispatching on the file extension.
+
+    ``.hgr`` → hMetis, ``.tsv`` / ``.txt`` / ``.edges`` → edge list,
+    ``.npz`` → this package's archive format.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".hgr":
+        return read_hmetis(path, name=path.stem)
+    if suffix in (".tsv", ".txt", ".edges"):
+        return read_edge_list(path, name=path.stem)
+    if suffix == ".npz":
+        return load_npz(path)
+    raise GraphValidationError(
+        f"unrecognized graph format {suffix!r} (known: {', '.join(GRAPH_SUFFIXES)})"
+    )
+
+
+def save_graph(graph: BipartiteGraph, path: str | Path) -> None:
+    """Write a graph, dispatching on the file extension (see :func:`load_graph`)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".hgr":
+        write_hmetis(graph, path)
+    elif suffix in (".tsv", ".txt", ".edges"):
+        write_edge_list(graph, path)
+    elif suffix == ".npz":
+        save_npz(graph, path)
+    else:
+        raise GraphValidationError(
+            f"unrecognized output format {suffix!r} (known: {', '.join(GRAPH_SUFFIXES)})"
+        )
 
 
 def _open_for_read(path_or_file) -> tuple[TextIO, bool]:

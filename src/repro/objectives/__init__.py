@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from ..api.registry import OBJECTIVES
 from .base import SeparableObjective
 from .cliquenet import CliqueNetObjective
 from .evaluate import (
@@ -42,18 +43,29 @@ __all__ = [
 ]
 
 
+# Factories take the fanout probability ``p`` (ignored where meaningless)
+# so one calling convention serves the whole family.
+@OBJECTIVES.register("pfanout", aliases=("probabilistic-fanout",))
+def _pfanout(p: float = 0.5) -> SeparableObjective:
+    return PFanoutObjective(p=p)
+
+
+@OBJECTIVES.register("fanout")
+def _fanout(p: float = 0.5) -> SeparableObjective:
+    return FanoutObjective()
+
+
+@OBJECTIVES.register("cliquenet", aliases=("clique-net", "edge-cut", "weighted-edge-cut"))
+def _cliquenet(p: float = 0.5) -> SeparableObjective:
+    return CliqueNetObjective()
+
+
 def get_objective(name: str, p: float = 0.5) -> SeparableObjective:
-    """Objective registry.
+    """Objective registry lookup.
 
     ``pfanout`` (default p = 0.5, the paper's recommended setting),
     ``fanout`` (p = 1, direct fanout optimization), and ``cliquenet``
-    (the exact p → 0 limit).
+    (the exact p → 0 limit) — plus any objective registered into
+    :data:`repro.api.registry.OBJECTIVES`.
     """
-    key = name.lower().replace("_", "").replace("-", "")
-    if key in ("pfanout", "probabilisticfanout"):
-        return PFanoutObjective(p=p)
-    if key == "fanout":
-        return FanoutObjective()
-    if key in ("cliquenet", "edgecut", "weightededgecut"):
-        return CliqueNetObjective()
-    raise KeyError(f"unknown objective {name!r}; known: pfanout, fanout, cliquenet")
+    return OBJECTIVES.get(name)(p=p)

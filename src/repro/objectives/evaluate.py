@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..hypergraph.bipartite import BipartiteGraph, csr_row_positions
+from ..hypergraph.bipartite import BipartiteGraph, GraphValidationError, csr_row_positions
 
 __all__ = [
     "bucket_counts",
@@ -255,7 +255,24 @@ class PartitionQuality:
 def evaluate_partition(
     graph: BipartiteGraph, assignment: np.ndarray, k: int
 ) -> PartitionQuality:
-    """Evaluate every standard metric at once (counts computed once)."""
+    """Evaluate every standard metric at once (counts computed once).
+
+    Raises :class:`~repro.hypergraph.GraphValidationError` when any bucket
+    id falls outside ``[0, k)`` — such an id would silently scramble the
+    composite-key bincount in :func:`bucket_counts` (entries spill into a
+    neighboring query's row) and every metric derived from it.
+    """
+    assignment = np.asarray(assignment)
+    if k < 1:
+        raise GraphValidationError(f"k must be at least 1, got {k}")
+    if assignment.size:
+        low = int(assignment.min())
+        high = int(assignment.max())
+        if low < 0 or high >= k:
+            bad = low if low < 0 else high
+            raise GraphValidationError(
+                f"assignment contains bucket id {bad} outside [0, {k})"
+            )
     counts = bucket_counts(graph, assignment, k)
     return PartitionQuality(
         k=k,

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -59,6 +61,37 @@ class TestPartitionCommand:
         with pytest.raises(SystemExit):
             main(["partition", str(bad), "-k", "4"])
 
+    def test_bad_flag_values_exit_cleanly(self, graph_file):
+        """Spec validation errors surface as SystemExit, not tracebacks."""
+        path, _ = graph_file
+        with pytest.raises(SystemExit, match="workers"):
+            main(["partition", str(path), "-k", "4", "--backend", "sim", "--workers", "0"])
+        with pytest.raises(SystemExit, match="k must be at least 2"):
+            main(["partition", str(path), "-k", "1"])  # shp-2 needs k >= 2
+
+    def test_k1_allowed_for_trivial_baselines(self, graph_file, capsys):
+        path, _ = graph_file
+        rc = main(["partition", str(path), "-k", "1", "--algorithm", "random"])
+        assert rc == 0
+
+    def test_npz_output_round_trips(self, graph_file, tmp_path, capsys):
+        """Regression: -o out.npz used to write plain text regardless of
+        extension; it must honor the extension and round-trip binary."""
+        from repro.core.persistence import load_assignment
+
+        path, graph = graph_file
+        out = tmp_path / "assign.npz"
+        rc = main(["partition", str(path), "-k", "4", "-o", str(out), "--seed", "1"])
+        assert rc == 0
+        with np.load(out) as archive:  # genuinely an npz archive, not text
+            assert set(archive.files) >= {"assignment", "k"}
+        assignment, k = load_assignment(out)
+        assert assignment.size == graph.num_data and k == 4
+        # text and npz outputs carry the identical assignment per seed
+        txt = tmp_path / "assign.txt"
+        main(["partition", str(path), "-k", "4", "-o", str(txt), "--seed", "1"])
+        np.testing.assert_array_equal(assignment, np.loadtxt(txt, dtype=np.int64))
+
 
 class TestEvaluateCommand:
     def test_round_trip(self, graph_file, tmp_path, capsys):
@@ -76,6 +109,27 @@ class TestEvaluateCommand:
         short.write_text("0\n1\n")
         with pytest.raises(SystemExit):
             main(["evaluate", str(path), str(short)])
+
+    def test_npz_assignment_uses_stored_k(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        out = tmp_path / "assign.npz"
+        main(["partition", str(path), "-k", "4", "-o", str(out), "--seed", "1"])
+        capsys.readouterr()
+        rc = main(["evaluate", str(path), str(out)])
+        assert rc == 0
+        out_text = capsys.readouterr().out
+        assert "fanout" in out_text
+        # stored k=4 is honored even though no -k flag was passed
+        first_data_row = [line for line in out_text.splitlines() if "|" in line][1]
+        assert first_data_row.split("|")[0].strip() == "4"
+
+    def test_out_of_range_assignment_rejected(self, graph_file, tmp_path, capsys):
+        """Regression: evaluate must reject bucket ids outside [0, k)."""
+        path, graph = graph_file
+        bad = tmp_path / "bad.txt"
+        bad.write_text("\n".join(["9"] * graph.num_data) + "\n")
+        with pytest.raises(SystemExit, match="outside"):
+            main(["evaluate", str(path), str(bad), "-k", "4"])
 
 
 class TestGenerateCommand:
@@ -100,6 +154,60 @@ class TestDatasetsCommand:
         assert rc == 0
         out = capsys.readouterr().out
         assert "FB-10B" in out and "email-Enron" in out
+
+
+class TestRunCommand:
+    def _write_spec(self, tmp_path, graph_path, **extra):
+        data = {
+            "kind": "partition",
+            "seed": 1,
+            "graph": {"source": "file", "path": str(graph_path)},
+            "algorithm": {"name": "shp-2", "k": 4},
+            **extra,
+        }
+        spec_path = tmp_path / "job.json"
+        spec_path.write_text(json.dumps(data))
+        return spec_path
+
+    def test_run_spec_file(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        spec_path = self._write_spec(tmp_path, path)
+        rc = main(["run", str(spec_path)])
+        assert rc == 0
+        assert "fanout" in capsys.readouterr().out
+
+    def test_run_with_overrides_and_artifacts(self, graph_file, tmp_path, capsys):
+        from repro.api import load_run
+
+        path, _ = graph_file
+        out_dir = tmp_path / "artifacts"
+        spec_path = self._write_spec(tmp_path, path)
+        rc = main([
+            "run", str(spec_path),
+            "--set", f"output.artifacts={json.dumps(str(out_dir))}",
+            "--set", "algorithm.k=8",
+        ])
+        assert rc == 0
+        assert "run artifacts written" in capsys.readouterr().out
+        artifacts = load_run(out_dir)
+        assert artifacts.manifest["spec"]["algorithm"]["k"] == 8
+        assert artifacts.assignment.max() < 8
+
+    def test_run_smoke_flag(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        spec_path = self._write_spec(tmp_path, path)
+        rc = main(["run", str(spec_path), "--smoke"])
+        assert rc == 0
+
+    def test_run_bad_spec_exits(self, graph_file, tmp_path):
+        path, _ = graph_file
+        spec_path = self._write_spec(tmp_path, path, algorithm={"name": "nope", "k": 4})
+        with pytest.raises(SystemExit, match="unknown partitioner"):
+            main(["run", str(spec_path)])
+
+    def test_run_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["run", str(tmp_path / "nope.toml")])
 
 
 class TestCompareCommand:

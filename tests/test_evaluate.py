@@ -114,6 +114,27 @@ class TestEvaluatePartition:
         assert row["k"] == 2
         assert np.isclose(quality.fanout, 5 / 3)
 
+    def test_out_of_range_bucket_id_rejected(self, figure1_setup):
+        """Regression: ids outside [0, k) used to silently mis-count (the
+        composite-key bincount spills them into a neighboring query's row);
+        they must raise a GraphValidationError naming the offender."""
+        from repro.hypergraph import GraphValidationError
+
+        graph, assignment = figure1_setup
+        too_big = assignment.copy()
+        too_big[0] = 2  # k = 2, so valid ids are {0, 1}
+        with pytest.raises(GraphValidationError, match=r"bucket id 2 outside \[0, 2\)"):
+            evaluate_partition(graph, too_big, 2)
+        negative = assignment.copy()
+        negative[3] = -1
+        with pytest.raises(GraphValidationError, match=r"bucket id -1 outside"):
+            evaluate_partition(graph, negative, 2)
+
+    def test_max_id_exactly_k_minus_one_accepted(self, figure1_setup):
+        graph, assignment = figure1_setup
+        quality = evaluate_partition(graph, assignment, 3)  # ids {0,1} < 3: fine
+        assert quality.k == 3
+
 
 class TestWeightedEdgeCutWeights:
     """Regression: weighted_edge_cut must honor query_weights like every

@@ -1,0 +1,254 @@
+"""JobSpec round-trips, file loading, --set overrides, and validation errors."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    AlgorithmSpec,
+    ExecutionSpec,
+    GraphSpec,
+    JobSpec,
+    OutputSpec,
+    ServingSpec,
+    SpecError,
+    apply_overrides,
+    parse_override,
+)
+from repro.api.registry import BACKENDS, OBJECTIVES, PARTITIONERS
+
+try:
+    import tomllib  # noqa: F401
+
+    HAVE_TOML = True
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10 without tomli
+    try:
+        import tomli as tomllib  # noqa: F401
+
+        HAVE_TOML = True
+    except ModuleNotFoundError:
+        HAVE_TOML = False
+
+needs_toml = pytest.mark.skipif(not HAVE_TOML, reason="no TOML parser available")
+
+
+class TestRoundTrip:
+    def test_default_spec_round_trips(self):
+        spec = JobSpec()
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_full_spec_round_trips(self):
+        spec = JobSpec(
+            kind="serving",
+            seed=11,
+            graph=GraphSpec(source="darwini", users=500, avg_degree=7),
+            algorithm=AlgorithmSpec(
+                name="shp-k", k=8, objective="cliquenet", options={"move_damping": 0.5}
+            ),
+            execution=ExecutionSpec(backend="sim", workers=3, vertex_mode="dict"),
+            serving=ServingSpec(servers=4, rounds=2),
+            output=OutputSpec(assignment="a.npz", artifacts="runs/x"),
+        )
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_serializable(self):
+        spec = JobSpec(algorithm=AlgorithmSpec(options={"max_iterations": 3}))
+        reloaded = json.loads(json.dumps(spec.to_dict()))
+        assert JobSpec.from_dict(reloaded) == spec
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        kind=st.sampled_from(["partition", "serving"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        name=st.sampled_from(PARTITIONERS.names()),
+        k=st.integers(min_value=2, max_value=64),
+        epsilon=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+        p=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        objective=st.sampled_from(OBJECTIVES.names()),
+        level_mode=st.sampled_from(["fused", "loop"]),
+        backend=st.sampled_from(["local", *BACKENDS.names()]),
+        workers=st.integers(min_value=1, max_value=8),
+        source=st.sampled_from(["dataset", "darwini"]),
+    )
+    def test_round_trip_property(
+        self, kind, seed, name, k, epsilon, p, objective, level_mode,
+        backend, workers, source,
+    ):
+        """from_dict(to_dict(s)) == s over the whole enum/range grid."""
+        spec = JobSpec(
+            kind=kind,
+            seed=seed,
+            graph=GraphSpec(source=source, dataset="email-Enron", scale=0.01),
+            algorithm=AlgorithmSpec(
+                name=name, k=k, epsilon=epsilon, p=p,
+                objective=objective, level_mode=level_mode,
+            ),
+            execution=ExecutionSpec(backend=backend, workers=workers),
+        )
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestValidationErrors:
+    @pytest.mark.parametrize(
+        "data, dotted_path",
+        [
+            ({"bogus": 1}, "bogus"),
+            ({"graph": {"sources": "file"}}, "graph.sources"),
+            ({"algorithm": {"naem": "shp-2"}}, "algorithm.naem"),
+            ({"execution": {"backendd": "sim"}}, "execution.backendd"),
+            ({"serving": {"server": 4}}, "serving.server"),
+            ({"output": {"assignments": "x"}}, "output.assignments"),
+        ],
+    )
+    def test_unknown_keys_name_dotted_path(self, data, dotted_path):
+        with pytest.raises(SpecError, match=dotted_path.replace(".", r"\.")):
+            JobSpec.from_dict(data)
+
+    @pytest.mark.parametrize(
+        "data, dotted_path",
+        [
+            ({"kind": "banana"}, "kind"),
+            ({"graph": {"source": "url", "path": "x"}}, "graph.source"),
+            ({"algorithm": {"name": "nope"}}, "algorithm.name"),
+            ({"algorithm": {"objective": "nope"}}, "algorithm.objective"),
+            ({"algorithm": {"level_mode": "nope"}}, "algorithm.level_mode"),
+            ({"execution": {"backend": "rpc"}}, "execution.backend"),
+            ({"execution": {"vertex_mode": "nope"}}, "execution.vertex_mode"),
+            ({"serving": {"method": "3"}}, "serving.method"),
+        ],
+    )
+    def test_bad_enums_name_dotted_path(self, data, dotted_path):
+        with pytest.raises(SpecError, match=dotted_path.replace(".", r"\.")):
+            JobSpec.from_dict(data)
+
+    @pytest.mark.parametrize(
+        "data, dotted_path",
+        [
+            ({"seed": "zero"}, "seed"),
+            ({"algorithm": {"k": 2.5}}, "algorithm.k"),
+            ({"algorithm": {"k": True}}, "algorithm.k"),
+            ({"graph": {"scale": "big"}}, "graph.scale"),
+            ({"execution": {"workers": "four"}}, "execution.workers"),
+        ],
+    )
+    def test_bad_types_name_dotted_path(self, data, dotted_path):
+        with pytest.raises(SpecError, match=dotted_path.replace(".", r"\.")):
+            JobSpec.from_dict(data)
+
+    @pytest.mark.parametrize(
+        "data, dotted_path",
+        [
+            ({"algorithm": {"k": 0}}, "algorithm.k"),
+            ({"algorithm": {"p": 0.0}}, "algorithm.p"),
+            ({"algorithm": {"epsilon": -0.1}}, "algorithm.epsilon"),
+            ({"graph": {"scale": 0.0}}, "graph.scale"),
+            ({"execution": {"workers": 0}}, "execution.workers"),
+            ({"serving": {"servers": 1}}, "serving.servers"),
+            ({"serving": {"churn_fraction": 1.5}}, "serving.churn_fraction"),
+        ],
+    )
+    def test_bad_ranges_name_dotted_path(self, data, dotted_path):
+        with pytest.raises(SpecError, match=dotted_path.replace(".", r"\.")):
+            JobSpec.from_dict(data)
+
+    def test_objective_aliases_resolve(self):
+        spec = JobSpec.from_dict({"algorithm": {"objective": "clique-net"}})
+        assert spec.algorithm.objective == "clique-net"  # stored as written
+
+    def test_missing_source_fields_deferred_to_run_time(self):
+        spec = JobSpec.from_dict({"graph": {"source": "file"}})
+        with pytest.raises(SpecError, match=r"graph\.path"):
+            spec.graph.require_source_fields()
+        spec = JobSpec.from_dict({"graph": {"source": "dataset"}})
+        with pytest.raises(SpecError, match=r"graph\.dataset"):
+            spec.graph.require_source_fields()
+
+
+class TestOverrides:
+    @pytest.mark.parametrize(
+        "item, path, value",
+        [
+            ("algorithm.k=16", ["algorithm", "k"], 16),
+            ("algorithm.p=0.25", ["algorithm", "p"], 0.25),
+            ("graph.remove_small_queries=false", ["graph", "remove_small_queries"], False),
+            ("algorithm.name=shp-k", ["algorithm", "name"], "shp-k"),
+            ('algorithm.name="shp-k"', ["algorithm", "name"], "shp-k"),
+            ("algorithm.options.move_damping=0.5",
+             ["algorithm", "options", "move_damping"], 0.5),
+        ],
+    )
+    def test_parse_override_types(self, item, path, value):
+        parts, parsed = parse_override(item)
+        assert parts == path
+        assert parsed == value and type(parsed) is type(value)
+
+    def test_parse_override_rejects_missing_equals(self):
+        with pytest.raises(SpecError, match="dotted.key=value"):
+            parse_override("algorithm.k")
+
+    def test_apply_overrides_creates_tables(self):
+        data: dict = {}
+        apply_overrides(data, ["algorithm.options.max_iterations=3", "seed=9"])
+        assert data == {"algorithm": {"options": {"max_iterations": 3}}, "seed": 9}
+
+    def test_apply_overrides_rejects_non_table_path(self):
+        with pytest.raises(SpecError, match="not a table"):
+            apply_overrides({"seed": 1}, ["seed.nested=2"])
+
+    def test_overrides_feed_validation(self):
+        data = JobSpec().to_dict()
+        apply_overrides(data, ["algorithm.k=0"])
+        with pytest.raises(SpecError, match=r"algorithm\.k"):
+            JobSpec.from_dict(data)
+
+
+class TestFileLoading:
+    @needs_toml
+    def test_toml_load_with_overrides(self, tmp_path):
+        path = tmp_path / "job.toml"
+        path.write_text(
+            "kind = 'partition'\nseed = 5\n"
+            "[graph]\nsource = 'dataset'\ndataset = 'email-Enron'\nscale = 0.01\n"
+            "[algorithm]\nname = 'shp-2'\nk = 4\n"
+        )
+        spec = JobSpec.from_file(path, overrides=["algorithm.k=8", "seed=9"])
+        assert spec.algorithm.k == 8
+        assert spec.seed == 9
+        assert spec.graph.dataset == "email-Enron"
+
+    def test_json_load(self, tmp_path):
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps({"kind": "partition", "algorithm": {"k": 4}}))
+        spec = JobSpec.from_file(path)
+        assert spec.algorithm.k == 4
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SpecError, match="not found"):
+            JobSpec.from_file(tmp_path / "nope.toml")
+
+    @needs_toml
+    def test_invalid_toml(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("kind = [unterminated")
+        with pytest.raises(SpecError, match="invalid TOML"):
+            JobSpec.from_file(path)
+
+    @needs_toml
+    def test_unknown_key_in_file_names_path(self, tmp_path):
+        path = tmp_path / "job.toml"
+        path.write_text("[algorithm]\nkk = 4\n")
+        with pytest.raises(SpecError, match=r"algorithm\.kk"):
+            JobSpec.from_file(path)
+
+
+class TestWith:
+    def test_with_replaces_sections(self):
+        spec = JobSpec()
+        other = spec.with_(algorithm=dataclasses.replace(spec.algorithm, k=16))
+        assert other.algorithm.k == 16
+        assert spec.algorithm.k == 2  # original untouched
