@@ -146,7 +146,10 @@ PARTITIONERS = Registry("partitioner", loader="repro.baselines")
 #: Objective factories: ``fn(p=0.5) -> SeparableObjective``.
 OBJECTIVES = Registry("objective", loader="repro.objectives")
 
-#: Distributed-engine backend factories: ``fn() -> Backend``.
+#: Distributed-engine backend factories: ``fn() -> Backend``.  Factories
+#: are zero-argument (a spec names a backend, it does not configure one);
+#: backends with connection parameters — ``rpc``'s hosts/timeouts — are
+#: constructed directly by the runner from ``ExecutionSpec`` fields.
 BACKENDS = Registry("backend", loader="repro.distributed.backend")
 
 #: Swap-matcher factories: ``fn(config: SHPConfig) -> matcher``.

@@ -7,8 +7,9 @@ engine (any registered backend), or the serving simulator, evaluates the
 result, and — when the spec asks for it — writes a run-artifact directory:
 
 * ``manifest.json`` — the fully resolved spec, timings, graph shape,
-  execution meters, and final quality, so a run is reproducible (and
-  auditable) from a single file;
+  execution meters (including the ``rpc`` backend's physical
+  ``wire_bytes`` / ``round_trip_sec``), and final quality, so a run is
+  reproducible (and auditable) from a single file;
 * ``assignment.npz`` — the final assignment (+ ``k``), loadable by
   :func:`repro.core.persistence.load_assignment`;
 * ``metrics.jsonl`` — one JSON record per iteration / superstep phase /
@@ -187,12 +188,24 @@ def _run_engine(spec: JobSpec, graph: BipartiteGraph):
     }
     config_kwargs.update(alg.options)
     config = SHPConfig(**config_kwargs)
+    backend = execution.backend
+    if backend == "rpc":
+        # The rpc backend takes connection parameters the registry's
+        # zero-argument factory cannot carry; build it explicitly.
+        from ..distributed import RpcBackend
+
+        backend = RpcBackend(
+            hosts=execution.hosts,
+            connect_timeout=execution.connect_timeout,
+            step_timeout=execution.step_timeout,
+        )
     job = DistributedSHP(
         config,
         cluster=ClusterSpec(num_workers=execution.workers),
         mode=mode,
-        backend=execution.backend,
+        backend=backend,
         vertex_mode=execution.vertex_mode,
+        combiner=execution.combiner,
     )
     return job.run(graph)
 
@@ -230,6 +243,10 @@ def _run_partition(spec: JobSpec, graph: BipartiteGraph, report: RunReport) -> N
             "messages": int(metrics.total_messages),
             "remote_bytes": int(metrics.total_remote_bytes),
             "peak_worker_memory": float(metrics.peak_worker_memory()),
+            # Physical transport meters: zero on in-process backends, real
+            # serialized traffic + barrier latency on rpc.
+            "wire_bytes": int(metrics.total_wire_bytes),
+            "round_trip_sec": float(metrics.total_round_trip_seconds),
         }
         for phase, agg in metrics.by_phase().items():
             report.metrics.append(
@@ -238,6 +255,7 @@ def _run_partition(spec: JobSpec, graph: BipartiteGraph, report: RunReport) -> N
                     "phase": phase,
                     "messages": agg["messages"],
                     "bytes": agg["bytes"],
+                    "wire_bytes": agg["wire_bytes"],
                     "supersteps": agg["count"],
                 }
             )

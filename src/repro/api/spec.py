@@ -224,14 +224,27 @@ class ExecutionSpec:
     """Execution substrate: in-process, or the vertex-centric engine.
 
     ``backend`` is ``"local"`` (the vectorized in-process optimizer) or any
-    :data:`~repro.api.registry.BACKENDS` entry (``"sim"``, ``"mp"``, and
-    whatever an RPC backend registers later); ``workers`` and
-    ``vertex_mode`` apply to engine backends only.
+    :data:`~repro.api.registry.BACKENDS` entry — ``"sim"`` (in-process
+    workers), ``"mp"`` (one OS process per worker), ``"rpc"`` (workers over
+    TCP; see ``docs/running-distributed.md``).  ``workers``,
+    ``vertex_mode``, and ``combiner`` apply to engine backends only;
+    ``combiner = true`` enables the protocol's message combiner (net-delta
+    combining for SHP — fewer bytes, bitwise-identical result).
+
+    The remaining fields configure the rpc backend: ``hosts`` lists
+    externally launched ``repro rpc-worker`` endpoints as
+    ``["host:port", ...]`` (omit it to auto-spawn localhost workers);
+    ``connect_timeout`` / ``step_timeout`` bound worker startup and the
+    per-superstep barrier wait before a worker is declared dead.
     """
 
     backend: str = LOCAL_BACKEND
     workers: int = 4
     vertex_mode: str = "columnar"
+    combiner: bool = False
+    hosts: list | None = None
+    connect_timeout: float = 10.0
+    step_timeout: float = 600.0
 
     def __post_init__(self) -> None:
         p = "execution"
@@ -245,6 +258,39 @@ class ExecutionSpec:
         _check_choice(self.vertex_mode, VERTEX_MODES, f"{p}.vertex_mode")
         if self.workers < 1:
             raise SpecError(f"{p}.workers: must be at least 1, got {self.workers!r}")
+        _check_type(self.combiner, bool, f"{p}.combiner")
+        if self.combiner and self.backend == LOCAL_BACKEND:
+            raise SpecError(
+                f"{p}.combiner: message combining is an engine feature; "
+                f"pick an engine backend ({', '.join(map(repr, BACKENDS.names()))})"
+            )
+        if self.hosts is not None:
+            _check_type(self.hosts, (list, tuple), f"{p}.hosts")
+            if self.backend != "rpc":
+                raise SpecError(
+                    f"{p}.hosts: only the 'rpc' backend takes worker hosts "
+                    f"(got backend {self.backend!r})"
+                )
+            for i, item in enumerate(self.hosts):
+                _check_type(item, str, f"{p}.hosts[{i}]")
+                if ":" not in item:
+                    raise SpecError(
+                        f"{p}.hosts[{i}]: expected 'host:port', got {item!r}"
+                    )
+            if not self.hosts:
+                raise SpecError(f"{p}.hosts: must list at least one host:port")
+            if not isinstance(self.hosts, list):
+                object.__setattr__(self, "hosts", list(self.hosts))
+        _check_type(self.connect_timeout, (int, float), f"{p}.connect_timeout")
+        _check_type(self.step_timeout, (int, float), f"{p}.step_timeout")
+        if self.connect_timeout <= 0:
+            raise SpecError(
+                f"{p}.connect_timeout: must be positive, got {self.connect_timeout!r}"
+            )
+        if self.step_timeout <= 0:
+            raise SpecError(
+                f"{p}.step_timeout: must be positive, got {self.step_timeout!r}"
+            )
 
     @property
     def is_local(self) -> bool:

@@ -10,6 +10,7 @@ Usage (also via ``python -m repro``):
     repro generate soc-Pokec --scale 0.01 -o pokec.hgr
     repro serve-sim --servers 16 --rounds 3 --queries 2000
     repro datasets
+    repro rpc-worker --port 7077
 
 Every execution subcommand (``run``, ``partition``, ``compare``,
 ``serve-sim``) builds a :class:`repro.api.JobSpec` and calls the same
@@ -105,7 +106,11 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             level_mode=args.level_mode,
         ),
         execution=ExecutionSpec(
-            backend=args.backend, workers=args.workers, vertex_mode=args.vertex_mode
+            backend=args.backend,
+            workers=args.workers,
+            vertex_mode=args.vertex_mode,
+            combiner=args.combiner,
+            hosts=args.hosts or None,
         ),
         output=OutputSpec(assignment=args.output),
     ))
@@ -244,6 +249,22 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_rpc_worker(args: argparse.Namespace) -> int:
+    """Run one RPC worker process (the remote end of ``--backend rpc``)."""
+    from .distributed import serve_worker
+
+    def ready(port: int) -> None:
+        print(f"repro rpc-worker listening on {args.host}:{port}", flush=True)
+
+    try:
+        serve_worker(
+            args.host, args.port, serve_forever=not args.once, ready=ready
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _add_algorithm_knobs(parser: argparse.ArgumentParser) -> None:
     """Shared algorithm flags (identical semantics in partition and compare)."""
     parser.add_argument("--epsilon", type=float, default=0.05, help="imbalance bound")
@@ -294,18 +315,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default="local", choices=["local", *BACKENDS.names()],
         help="execution backend: 'local' (in-process vectorized optimizer), "
         "'sim' (vertex-centric engine, simulated workers), "
-        "'mp' (vertex-centric engine, one OS process per worker)",
+        "'mp' (vertex-centric engine, one OS process per worker), "
+        "'rpc' (workers over TCP; see docs/running-distributed.md)",
     )
     p.add_argument(
         "--workers", type=int, default=4,
-        help="cluster worker count for --backend sim/mp (default: 4)",
+        help="cluster worker count for engine backends (default: 4)",
     )
     p.add_argument(
         "--vertex-mode", default="columnar", choices=list(VERTEX_MODES),
-        help="vertex execution for --backend sim/mp: 'columnar' runs each "
+        help="vertex execution for engine backends: 'columnar' runs each "
         "protocol phase as vectorized kernels over typed message batches "
         "(default), 'dict' is the per-vertex reference path; both are "
         "bitwise-identical per seed",
+    )
+    p.add_argument(
+        "--combiner", action="store_true",
+        help="combine messages per destination before transmission "
+        "(engine backends; fewer wire bytes, bitwise-identical result)",
+    )
+    p.add_argument(
+        "--hosts", action="append", default=[], metavar="HOST:PORT",
+        help="rpc worker endpoint (repeatable); with --backend rpc and no "
+        "--hosts, localhost workers are spawned automatically",
     )
     p.add_argument(
         "-o", "--output",
@@ -366,6 +398,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     d = sub.add_parser("datasets", help="list the dataset registry")
     d.set_defaults(func=_cmd_datasets)
+
+    w = sub.add_parser(
+        "rpc-worker",
+        help="serve as a distributed-engine worker over TCP "
+        "(see docs/running-distributed.md)",
+    )
+    w.add_argument(
+        "--host", default="0.0.0.0",
+        help="interface to bind (default: all interfaces)",
+    )
+    w.add_argument(
+        "--port", type=int, default=0,
+        help="port to listen on (default: 0 = auto-assign and print)",
+    )
+    w.add_argument(
+        "--once", action="store_true",
+        help="exit after serving one master connection (default: keep "
+        "serving jobs until killed)",
+    )
+    w.set_defaults(func=_cmd_rpc_worker)
     return parser
 
 

@@ -2,8 +2,11 @@
 
 Execution is backend-pluggable: :class:`SimulatedBackend` runs every worker
 in-process (deterministic, instant startup), :class:`MultiprocessBackend`
-runs one OS process per worker over shared-memory graph arrays.  Both
-produce bit-identical vertex states for a given seed.
+runs one OS process per worker over shared-memory graph arrays, and
+:class:`RpcBackend` coordinates worker processes over TCP (auto-spawned
+localhost peers or remote ``repro rpc-worker`` hosts) with checkpointed
+superstep retry on worker failure.  All produce bit-identical vertex
+states for a given seed — see ``docs/architecture.md``.
 """
 
 from .backend import (
@@ -11,6 +14,7 @@ from .backend import (
     SimulatedBackend,
     backend_names,
     resolve_backend,
+    resolve_combiner,
 )
 from .cluster import PAPER_MACHINE, ClusterSpec, CostModel, MachineSpec
 from .engine import (
@@ -29,12 +33,20 @@ from .metrics import JobMetrics, SuperstepMetrics
 
 
 def __getattr__(name):
-    # MultiprocessBackend is re-exported lazily so that sim-only imports
-    # never pay for multiprocessing/shared_memory machinery.
+    # Process/network backends are re-exported lazily so that sim-only
+    # imports never pay for multiprocessing or socket machinery.
     if name == "MultiprocessBackend":
         from .backend_mp import MultiprocessBackend
 
         return MultiprocessBackend
+    if name == "RpcBackend":
+        from .backend_rpc import RpcBackend
+
+        return RpcBackend
+    if name == "serve_worker":
+        from .backend_rpc import serve_worker
+
+        return serve_worker
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -45,8 +57,11 @@ __all__ = [
     "Backend",
     "SimulatedBackend",
     "MultiprocessBackend",
+    "RpcBackend",
+    "serve_worker",
     "backend_names",
     "resolve_backend",
+    "resolve_combiner",
     "GiraphEngine",
     "JobResult",
     "VertexContext",

@@ -8,12 +8,16 @@ The engine's superstep loop is backend-agnostic; a :class:`Backend` decides
   bytes, per-worker ops and memory) models what a real cluster would see.
 * :class:`MultiprocessBackend` (``backend_mp``) — one OS process per worker,
   shared-memory graph arrays, real parallel wall-clock.
+* :class:`RpcBackend` (``backend_rpc``) — worker processes reachable over
+  TCP (auto-spawned localhost processes or external ``repro rpc-worker``
+  hosts), length-prefixed pickled frames, superstep retry on worker death.
 
-Both call :func:`execute_worker_superstep` for the per-worker work and
-:func:`assemble_superstep_metrics` at the barrier, so the numbers they
-report — and, given a seed, the vertex states they produce — are identical.
-A future RPC/cluster backend only needs to move the same two functions
-across the wire.
+All backends call :func:`execute_worker_superstep` (dict path) or
+:func:`execute_worker_superstep_batch` (columnar path) for the per-worker
+work and :func:`assemble_superstep_metrics` at the barrier, so the numbers
+they report — and, given a seed, the vertex states they produce — are
+identical.  The layer map and the parity invariants backends must uphold
+are documented in ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ __all__ = [
     "assemble_superstep_metrics",
     "is_batch_program",
     "resolve_backend",
+    "resolve_combiner",
     "backend_names",
 ]
 
@@ -44,6 +49,35 @@ __all__ = [
 def is_batch_program(program) -> bool:
     """True when ``program`` implements the columnar BatchVertexProgram API."""
     return hasattr(program, "compute_partition")
+
+
+def resolve_combiner(program, combiner) -> Combiner | None:
+    """Validate a combiner against the program's execution path.
+
+    One resolution point for both vertex modes: dict-path programs accept
+    any :class:`~repro.distributed.messages.Combiner`; batch (columnar)
+    programs additionally require the combiner to implement
+    ``combine_batch`` — the vectorized per-destination reduction applied to
+    :class:`~repro.distributed.messages.MessageBatch` columns before
+    routing.  Returns the combiner (or ``None``), raising only for the
+    genuinely unsupported case: a dict-only custom combiner paired with a
+    batch program.
+    """
+    if combiner is None:
+        return None
+    if not isinstance(combiner, Combiner):
+        raise TypeError(
+            f"combiner must be a repro.distributed.Combiner, "
+            f"got {type(combiner).__name__}"
+        )
+    if is_batch_program(program) and not hasattr(combiner, "combine_batch"):
+        raise ValueError(
+            f"combiner {type(combiner).__name__} only implements the dict-path "
+            "combine(); batch vertex programs need a batch-capable combiner — "
+            "implement combine_batch(batch) -> list[MessageBatch] "
+            "(see SumCombiner) or run with vertex_mode='dict'"
+        )
+    return combiner
 
 
 @dataclass
@@ -131,7 +165,12 @@ def execute_worker_superstep(
     )
     for dst, payload in outbox:
         dst_worker = int(worker_of[dst])
-        size = schema.measure(payload) if schema is not None else sizeof_payload(payload)
+        if combiner is not None:
+            size = combiner.measure(payload, schema)
+        elif schema is not None:
+            size = schema.measure(payload)
+        else:
+            size = sizeof_payload(payload)
         result.messages_sent += 1
         if dst_worker == worker_id:
             result.messages_local += 1
@@ -154,6 +193,7 @@ def execute_worker_superstep_batch(
     seed: int,
     worker_of_array: np.ndarray,
     num_workers: int,
+    combiner: Combiner | None = None,
 ) -> WorkerStepResult:
     """Columnar twin of :func:`execute_worker_superstep`.
 
@@ -162,7 +202,11 @@ def execute_worker_superstep_batch(
     batches with vectorized arithmetic: destination workers come from one
     dense placement lookup, byte counts from dtype-exact schema sizes, and
     batches split per destination worker without per-message Python work.
-    ``result.batches`` maps worker id -> list of MessageBatch.
+    When a batch-capable ``combiner`` is set, each outbound batch is
+    segment-reduced per destination (``combiner.combine_batch``) before
+    metering and routing, so the meters report the combined traffic that
+    actually travels.  ``result.batches`` maps worker id -> list of
+    MessageBatch.
     """
     from .engine import BatchContext
 
@@ -174,6 +218,13 @@ def execute_worker_superstep_batch(
     )
     program.compute_partition(ctx, partition, inbox)
 
+    outbox = ctx._outbox
+    if combiner is not None:
+        combined: list = []
+        for batch in outbox:
+            combined.extend(combiner.combine_batch(batch))
+        outbox = [batch for batch in combined if len(batch)]
+
     result = WorkerStepResult(
         worker_id=worker_id,
         aggregates=ctx._aggregates,
@@ -182,7 +233,7 @@ def execute_worker_superstep_batch(
         active=ctx._active,
         remote_row=np.zeros(num_workers, dtype=np.float64),
     )
-    for batch in ctx._outbox:
+    for batch in outbox:
         dst_workers = worker_of_array[batch.dst]
         sizes = batch.per_message_nbytes()
         local = dst_workers == worker_id
@@ -260,14 +311,24 @@ class Backend(ABC):
     """Strategy deciding where the engine's worker partitions execute.
 
     :meth:`run` is a template method owning the whole superstep protocol —
-    master compute/halt, aggregate reduction, metrics assembly, wall-clock —
-    so every backend (and any future RPC one) shares one driver and can only
-    differ in *where* the per-worker work happens.  Subclasses implement the
-    three hooks; a backend instance drives one run at a time.
+    master compute/halt, combiner resolution, aggregate reduction, metrics
+    assembly, wall-clock — so every backend (``sim`` in-process, ``mp``
+    OS processes, ``rpc`` TCP workers) shares one driver and can only
+    differ in *where* the per-worker work happens and *how* bytes move.
+
+    Subclasses implement the hooks below: the three mandatory ones
+    (:meth:`_open` / :meth:`_execute_superstep` / :meth:`_finish`) carry
+    the run; :meth:`_close` releases resources on every exit path; and
+    :meth:`_annotate_step` lets a backend attach physical measurements
+    (wire bytes, barrier latency) to each superstep's metrics without
+    touching the logical meters.  A backend instance drives one run at a
+    time.
 
     Backend contract: after :meth:`run`, the per-vertex state dicts the
     caller passed to ``engine.load()`` hold the final values (mutated in
-    place), identical on every backend.
+    place), bitwise-identical on every backend for a given seed — see
+    ``docs/architecture.md`` ("bitwise-parity invariants") for what that
+    requires of a new backend.
     """
 
     name: str = "abstract"
@@ -276,12 +337,7 @@ class Backend(ABC):
         """Execute the superstep loop for a loaded engine."""
         from .engine import JobResult
 
-        if combiner is not None and is_batch_program(program):
-            raise ValueError(
-                "combiners are not supported for batch vertex programs — "
-                "combine inside compute_partition before send_batch instead"
-            )
-
+        combiner = resolve_combiner(program, combiner)
         num_workers = engine.cluster.num_workers
         metrics = JobMetrics(cluster=engine.cluster)
         start = time.perf_counter()
@@ -307,9 +363,11 @@ class Backend(ABC):
                     if hasattr(program, "phase_name")
                     else ""
                 )
-                metrics.add(
-                    assemble_superstep_metrics(results, superstep, phase, num_workers)
+                step = assemble_superstep_metrics(
+                    results, superstep, phase, num_workers
                 )
+                self._annotate_step(step)
+                metrics.add(step)
                 executed += 1
             states = self._finish()
         finally:
@@ -340,6 +398,13 @@ class Backend(ABC):
 
     def _close(self) -> None:
         """Release run resources (always called, including on errors)."""
+
+    def _annotate_step(self, step) -> None:
+        """Attach backend-specific measurements to a just-assembled
+        :class:`~repro.distributed.metrics.SuperstepMetrics` (e.g. the RPC
+        backend fills ``wire_bytes`` and ``round_trip_seconds`` from its
+        sockets).  Default: no-op — the *logical* meters stay untouched so
+        cross-backend parity holds."""
 
 
 class SimulatedBackend(Backend):
@@ -396,6 +461,7 @@ class SimulatedBackend(Backend):
                     engine.seed,
                     engine._worker_of_array,
                     num_workers,
+                    self._combiner,
                 )
                 for worker_id in range(num_workers)
             ]
@@ -461,6 +527,13 @@ def _make_mp() -> Backend:
     from .backend_mp import MultiprocessBackend
 
     return MultiprocessBackend()
+
+
+@BACKENDS.register("rpc")
+def _make_rpc() -> Backend:
+    from .backend_rpc import RpcBackend
+
+    return RpcBackend()
 
 
 def backend_names() -> list[str]:

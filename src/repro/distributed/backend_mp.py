@@ -236,6 +236,7 @@ def _worker_main(worker_id: int, conn, init: dict) -> None:
                         seed,
                         worker_of,
                         num_workers,
+                        combiner,
                     )
                     # Compact each outbound batch to the entry rows its
                     # messages reference, then pickle once per hop —

@@ -231,20 +231,69 @@ class MessageBatch:
 class Combiner:
     """Optional per-destination message combiner (Giraph's Combiner API).
 
-    When set on a program, messages addressed to the same destination vertex
+    When set on a job, messages addressed to the same destination vertex
     from the same worker are combined before transmission, reducing remote
     traffic — one of the built-in Giraph optimizations the paper highlights.
+
+    Two capabilities, resolved per execution path by
+    :func:`repro.distributed.backend.resolve_combiner`:
+
+    * :meth:`combine` — the dict-path contract: reduce the payload list of
+      one destination vertex.  Every combiner must implement it.
+    * ``combine_batch(batch) -> list[MessageBatch]`` — the columnar
+      contract: reduce a whole typed batch per destination with vectorized
+      arithmetic *before* routing.  The base class deliberately does not
+      define it; backends detect batch capability via ``hasattr``, and a
+      combiner without it is rejected (with a clear error) for batch
+      vertex programs instead of silently running uncombined.
+
+    Combining must be semantically transparent: for a given seed the final
+    vertex states are bitwise identical with the combiner on or off (see
+    ``docs/architecture.md``, "bitwise-parity invariants").
     """
 
     def combine(self, payloads: list) -> list:
         """Combine payloads for one destination; returns the reduced list."""
         raise NotImplementedError
 
+    def measure(self, payload: object, schema: MessageSchema | None) -> int:
+        """Wire size of one (possibly combined) dict-mode payload.
+
+        Combiners that emit payloads outside the phase schema (e.g. a
+        net-delta encoding) override this so the dict path meters combined
+        traffic at the same dtype-exact sizes the columnar path ships.
+        """
+        if schema is not None:
+            return schema.measure(payload)
+        return sizeof_payload(payload)
+
 
 class SumCombiner(Combiner):
-    """Combine numeric messages by summing them."""
+    """Combine numeric messages by summing them.
+
+    Batch-capable: ``combine_batch`` segment-sums every fixed column per
+    destination vertex.  Batches with a variable-length entry section have
+    no generic sum semantics and are rejected.
+    """
 
     def combine(self, payloads: list) -> list:
         if not payloads:
             return payloads
         return [sum(payloads)]
+
+    def combine_batch(self, batch: "MessageBatch") -> list["MessageBatch"]:
+        """Sum every column per destination (one output message per dst)."""
+        if batch.entry_start is not None or batch.schema.entry_fields:
+            raise ValueError(
+                f"SumCombiner cannot combine schema {batch.schema.name!r}: "
+                "variable-length entry sections have no generic sum"
+            )
+        if len(batch) <= 1:
+            return [batch]
+        uniq_dst, inverse = np.unique(batch.dst, return_inverse=True)
+        cols = {}
+        for name, col in batch.cols.items():
+            sums = np.zeros(uniq_dst.size, dtype=np.float64)
+            np.add.at(sums, inverse, col.astype(np.float64))
+            cols[name] = sums.astype(col.dtype)
+        return [MessageBatch(batch.schema, uniq_dst, cols)]

@@ -5,6 +5,17 @@ messages sent (split into worker-local and remote), bytes, per-worker
 compute operations, and per-worker memory high-water marks.  The benchmark
 harness checks these measurements against the Section 3.3 bounds
 (|E| messages in superstep 1, ≈ fanout·|E| in superstep 2, |V| in 3 and 4).
+
+Two families of measurements coexist per superstep:
+
+* **logical meters** (messages, ``bytes_local`` / ``bytes_remote``, ops,
+  memory) — dtype-exact accounting of the protocol itself, identical on
+  every backend for a given seed (the cross-backend parity contract);
+* **physical meters** (``wire_bytes``, ``round_trip_seconds``) — what a
+  networked backend actually moved and waited: real serialized bytes on
+  the wire and master-observed barrier round-trip time.  In-process
+  backends leave them at zero; the RPC backend fills them from its
+  sockets.  See ``docs/running-distributed.md`` for how to read them.
 """
 
 from __future__ import annotations
@@ -33,6 +44,12 @@ class SuperstepMetrics:
     messages_per_worker: np.ndarray = field(default_factory=lambda: np.zeros(0))
     memory_per_worker: np.ndarray = field(default_factory=lambda: np.zeros(0))
     active_vertices: int = 0
+    #: real serialized bytes this superstep moved over backend transport
+    #: (frames sent + received by the master); zero on in-process backends.
+    wire_bytes: int = 0
+    #: master-observed barrier latency: first step dispatch to last worker
+    #: reply, in seconds; zero on in-process backends.
+    round_trip_seconds: float = 0.0
 
     @property
     def total_messages(self) -> int:
@@ -76,6 +93,16 @@ class JobMetrics:
     def total_remote_bytes(self) -> int:
         return sum(s.bytes_remote for s in self.supersteps)
 
+    @property
+    def total_wire_bytes(self) -> int:
+        """Real transport bytes over the whole job (zero for in-process)."""
+        return sum(s.wire_bytes for s in self.supersteps)
+
+    @property
+    def total_round_trip_seconds(self) -> float:
+        """Summed master-observed barrier round-trip time (RPC backend)."""
+        return sum(s.round_trip_seconds for s in self.supersteps)
+
     def peak_worker_memory(self) -> float:
         peaks = [
             float(s.memory_per_worker.max())
@@ -97,9 +124,11 @@ class JobMetrics:
         out: dict[str, dict[str, float]] = {}
         for step in self.supersteps:
             agg = out.setdefault(
-                step.phase, {"messages": 0.0, "bytes": 0.0, "count": 0.0}
+                step.phase,
+                {"messages": 0.0, "bytes": 0.0, "wire_bytes": 0.0, "count": 0.0},
             )
             agg["messages"] += step.total_messages
             agg["bytes"] += step.total_bytes
+            agg["wire_bytes"] += step.wire_bytes
             agg["count"] += 1
         return out

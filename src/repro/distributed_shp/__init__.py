@@ -1,14 +1,17 @@
 """Distributed SHP: the 4-superstep vertex-centric job (Section 3.2)."""
 
 from .columnar import SHPColumnarProgram
+from .combiners import ShpDeltaCombiner
 from .job import DistributedSHP, DistributedSHPResult, vertex_mode_names
-from .schemas import DELTA_SCHEMA, NDATA_SCHEMA
+from .schemas import DELTA_SCHEMA, NDATA_SCHEMA, NET_DELTA_SCHEMA
 
 __all__ = [
     "DistributedSHP",
     "DistributedSHPResult",
     "SHPColumnarProgram",
+    "ShpDeltaCombiner",
     "vertex_mode_names",
     "DELTA_SCHEMA",
     "NDATA_SCHEMA",
+    "NET_DELTA_SCHEMA",
 ]

@@ -38,7 +38,7 @@ from ..core.config import SHPConfig
 from ..core.histograms import GainBinning
 from ..distributed.messages import MessageBatch
 from ..hypergraph.bipartite import csr_row_positions, ragged_positions
-from .schemas import DELTA_SCHEMA, NDATA_SCHEMA
+from .schemas import DELTA_SCHEMA, NDATA_SCHEMA, NET_DELTA_SCHEMA
 
 __all__ = ["SHPColumnarProgram"]
 
@@ -287,10 +287,12 @@ class SHPColumnarProgram:
     def _s2_neighbor_data(self, ctx, part: _Partition, inbox: list) -> None:
         nq = part.qvids.size
         reset = bool(ctx.broadcasts.get("reset"))
-        if inbox:
-            dst = np.concatenate([b.dst for b in inbox])
-            d_old = np.concatenate([b.cols["old"] for b in inbox]).astype(np.int64)
-            d_new = np.concatenate([b.cols["new"] for b in inbox]).astype(np.int64)
+        deltas = [b for b in inbox if b.schema.name == DELTA_SCHEMA.name]
+        nets = [b for b in inbox if b.schema.name == NET_DELTA_SCHEMA.name]
+        if deltas:
+            dst = np.concatenate([b.dst for b in deltas])
+            d_old = np.concatenate([b.cols["old"] for b in deltas]).astype(np.int64)
+            d_new = np.concatenate([b.cols["new"] for b in deltas]).astype(np.int64)
         else:
             dst = np.empty(0, dtype=np.int64)
             d_old = np.empty(0, dtype=np.int64)
@@ -299,6 +301,21 @@ class SHPColumnarProgram:
         has_msg = np.zeros(nq, dtype=bool)
         if ql.size:
             has_msg[ql] = True
+        # Combined net adjustments (ShpDeltaCombiner): gather their ragged
+        # (bucket, net) entries into the same summed rebuild below.  A
+        # zero-entry message contributes no entries but still marks its
+        # query dirty — identical activity semantics to raw deltas.
+        net_rows: list[np.ndarray] = []
+        net_buckets: list[np.ndarray] = []
+        net_counts: list[np.ndarray] = []
+        for b in nets:
+            nql = np.searchsorted(part.qvids, b.dst)
+            has_msg[nql] = True
+            positions, lens = b.entry_positions(np.arange(len(b), dtype=np.int64))
+            if positions.size:
+                net_rows.append(np.repeat(nql, lens))
+                net_buckets.append(b.entries["bucket"][positions].astype(np.int64))
+                net_counts.append(b.entries["net"][positions].astype(np.int64))
 
         # Rebuild the neighbor-data CSR: existing entries (dropped wholesale
         # on reset) plus +1/-1 delta entries, summed per (query, bucket).
@@ -324,6 +341,10 @@ class SHPColumnarProgram:
                 rows_parts.append(ql[dec])
                 bucket_parts.append(d_old[dec])
                 count_parts.append(np.full(int(dec.sum()), -1, dtype=np.int64))
+        if net_rows:
+            rows_parts.extend(net_rows)
+            bucket_parts.extend(net_buckets)
+            count_parts.extend(net_counts)
         if rows_parts:
             all_q = np.concatenate(rows_parts)
             all_b = np.concatenate(bucket_parts)

@@ -94,6 +94,15 @@ class _SHPVertexProgram:
         self._graph = graph
         self._adj_cache = {}
 
+    def __getstate__(self) -> dict:
+        # Programs travel graph-free (the RPC backend pickles them to remote
+        # workers, which bind their own graph copy); the adjacency cache is
+        # derived data and would bloat every checkpoint.
+        state = self.__dict__.copy()
+        state["_graph"] = None
+        state["_adj_cache"] = {}
+        return state
+
     def _adjacency(self, vid: int) -> np.ndarray:
         """Engine-id neighbors of ``vid`` (queries offset by ``num_data``)."""
         adj = self._adj_cache.get(vid)
@@ -226,6 +235,18 @@ class _SHPVertexProgram:
         neighbor_data: dict = state["nd"]
         dirty = bool(messages) or ctx.broadcasts.get("reset", False)
         for payload in messages:
+            if payload[0] == "dc":
+                # Combined net adjustments (ShpDeltaCombiner): equivalent to
+                # folding the raw deltas one by one, because the fold is a
+                # per-bucket sum.  Zero entries is legal — the message still
+                # marked this query dirty above.
+                for bucket, net in payload[1]:
+                    count = neighbor_data.get(bucket, 0) + net
+                    if count <= 0:
+                        neighbor_data.pop(bucket, None)
+                    else:
+                        neighbor_data[bucket] = count
+                continue
             old, new = payload[1], payload[2]
             if old is not None:
                 remaining = neighbor_data.get(old, 0) - 1
@@ -395,14 +416,19 @@ class DistributedSHP:
     """Run SHP as a vertex-centric job on a Giraph-like cluster.
 
     ``backend`` selects the execution substrate: ``"sim"`` (in-process
-    simulation, the default), ``"mp"`` (one OS process per worker), or any
-    :class:`repro.distributed.Backend` instance.  ``vertex_mode`` selects
-    how workers execute vertices: ``"columnar"`` (default) runs each
-    protocol phase as vectorized kernels over struct-of-arrays partitions
-    exchanging typed message batches; ``"dict"`` is the per-vertex
-    reference implementation.  Given the same config and graph, every
-    (backend, vertex_mode) combination produces bit-identical assignments
-    and identical message/byte meters.
+    simulation, the default), ``"mp"`` (one OS process per worker),
+    ``"rpc"`` (TCP workers, see :class:`repro.distributed.RpcBackend`), or
+    any :class:`repro.distributed.Backend` instance.  ``vertex_mode``
+    selects how workers execute vertices: ``"columnar"`` (default) runs
+    each protocol phase as vectorized kernels over struct-of-arrays
+    partitions exchanging typed message batches; ``"dict"`` is the
+    per-vertex reference implementation.  ``combiner`` enables message
+    combining: ``True`` (or ``"delta"``) uses the protocol's
+    :class:`~repro.distributed_shp.combiners.ShpDeltaCombiner`; a
+    :class:`~repro.distributed.Combiner` instance is used as-is.  Given
+    the same config and graph, every (backend, vertex_mode, combiner)
+    combination produces bit-identical assignments; meters are identical
+    across backends and vertex modes for a fixed combiner setting.
     """
 
     def __init__(
@@ -412,6 +438,7 @@ class DistributedSHP:
         mode: str = "2",
         backend=None,
         vertex_mode: str = "columnar",
+        combiner=None,
     ):
         if mode not in ("2", "k"):
             raise ValueError("mode must be '2' or 'k'")
@@ -421,11 +448,18 @@ class DistributedSHP:
             raise ValueError(
                 f"vertex_mode must be one of {vertex_mode_names()}, got {vertex_mode!r}"
             )
+        if combiner in (True, "delta"):
+            from .combiners import ShpDeltaCombiner
+
+            combiner = ShpDeltaCombiner()
+        elif combiner in (False, None):
+            combiner = None
         self.config = config
         self.cluster = cluster or ClusterSpec()
         self.mode = mode
         self.backend = backend
         self.vertex_mode = vertex_mode
+        self.combiner = combiner
 
     # ------------------------------------------------------------------
     def run(
@@ -494,7 +528,9 @@ class DistributedSHP:
 
         engine = GiraphEngine(cluster=self.cluster, seed=config.seed, backend=self.backend)
         engine.load(states, graph=graph)
-        job = engine.run(program, master=master, max_supersteps=max_supersteps)
+        job = engine.run(
+            program, master=master, max_supersteps=max_supersteps, combiner=self.combiner
+        )
 
         final = np.empty(num_data, dtype=np.int32)
         for v in range(num_data):

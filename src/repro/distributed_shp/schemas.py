@@ -15,12 +15,17 @@ from __future__ import annotations
 
 from ..distributed.messages import MessageSchema
 
-__all__ = ["DELTA_SCHEMA", "NDATA_SCHEMA"]
+__all__ = ["DELTA_SCHEMA", "NDATA_SCHEMA", "NET_DELTA_SCHEMA"]
 
 
 def _ndata_entries(payload: object) -> int:
     """Entry count of a dict-mode S2 payload ``("q", vid, weight, nd)``."""
     return len(payload[3])
+
+
+def _net_entries(payload: object) -> int:
+    """Entry count of a dict-mode combined payload ``("dc", entries)``."""
+    return len(payload[1])
 
 
 #: S1 collect — a data vertex tells its queries it moved ``old -> new``
@@ -38,4 +43,17 @@ NDATA_SCHEMA = MessageSchema(
     fields=(("query", "<i8"), ("weight", "<f8")),
     entry_fields=(("bucket", "<i4"), ("count", "<i4")),
     var_len=_ndata_entries,
+)
+
+#: Combined S1 collect — what :class:`~repro.distributed_shp.combiners.
+#: ShpDeltaCombiner` sends per (source worker, query) instead of raw
+#: deltas: the *net* per-bucket count adjustments of that worker's movers,
+#: one (bucket, net) entry per bucket whose net change is nonzero.  A
+#: zero-entry payload is legal and 0 bytes — it still marks the query
+#: dirty, preserving combiner-off activity semantics bitwise.
+NET_DELTA_SCHEMA = MessageSchema(
+    "shp-net-delta",
+    fields=(),
+    entry_fields=(("bucket", "<i4"), ("net", "<i4")),
+    var_len=_net_entries,
 )

@@ -141,8 +141,11 @@ class TestBackendResolution:
         assert isinstance(resolve_backend("mp"), MultiprocessBackend)
         backend = MultiprocessBackend()
         assert resolve_backend(backend) is backend
+        from repro.distributed import RpcBackend
+
+        assert isinstance(resolve_backend("rpc"), RpcBackend)
         with pytest.raises(ValueError):
-            resolve_backend("rpc")
+            resolve_backend("carrier-pigeon")
 
     def test_spawn_context_parity(self, parity_graph):
         """Cold-start (spawn) workers agree with the simulator too."""

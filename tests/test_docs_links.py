@@ -1,0 +1,69 @@
+"""Docs hygiene: every intra-repo link in README.md and docs/ resolves.
+
+Drives ``tools/check_docs_links.py`` — the same script the CI docs step
+runs — so a broken relative path or heading anchor fails the suite, not
+just the workflow.
+"""
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_docs_links  # noqa: E402
+
+
+def test_repo_docs_have_no_broken_links():
+    problems = []
+    for md_file in check_docs_links.iter_markdown_files():
+        problems.extend(check_docs_links.check_file(md_file))
+    assert problems == []
+
+
+def test_docs_pages_exist_and_are_linked_from_readme():
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    for page in ("docs/architecture.md", "docs/running-distributed.md"):
+        assert (REPO / page).is_file()
+        assert page in readme
+
+
+def test_checker_flags_broken_link(tmp_path):
+    md = tmp_path / "README.md"
+    md.write_text("see [missing](docs/nope.md) and [ok](#title)\n\n# Title\n")
+    problems = check_docs_links.check_file(md, repo=tmp_path)
+    assert len(problems) == 1
+    assert "docs/nope.md" in problems[0]
+
+
+def test_checker_flags_missing_anchor(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "a.md").write_text("# Real Heading\nbody\n")
+    md = tmp_path / "README.md"
+    md.write_text("[good](docs/a.md#real-heading) [bad](docs/a.md#fake)\n")
+    problems = check_docs_links.check_file(md, repo=tmp_path)
+    assert len(problems) == 1
+    assert "#fake" in problems[0]
+
+
+def test_checker_ignores_external_and_fenced(tmp_path):
+    md = tmp_path / "README.md"
+    md.write_text(
+        "[x](https://example.com)\n```\n[y](not/a/link.md)\n```\n"
+    )
+    assert check_docs_links.check_file(md, repo=tmp_path) == []
+
+
+@pytest.mark.parametrize(
+    ("heading", "slug"),
+    [
+        ("Worker failure", "worker-failure"),
+        ("The superstep lifecycle", "the-superstep-lifecycle"),
+        ("Multi-host: `repro rpc-worker`", "multi-host-repro-rpc-worker"),
+    ],
+)
+def test_slugify_matches_github_style(heading, slug):
+    assert check_docs_links._slugify(heading) == slug

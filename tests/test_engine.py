@@ -324,14 +324,34 @@ class TestMessageBatch:
                 entries={"val": np.arange(2, dtype=np.int32)},
             )
 
-    def test_batch_programs_reject_combiners(self):
-        from repro.distributed_shp import SHPColumnarProgram
+    def test_combiner_resolution_one_code_path(self):
+        """resolve_combiner gates both vertex modes: batch programs accept
+        batch-capable combiners and reject dict-only ones with a clear
+        error; non-Combiner objects are a TypeError everywhere."""
+        from repro.distributed.backend import resolve_combiner
+        from repro.distributed.messages import Combiner
+        from repro.distributed_shp import SHPColumnarProgram, ShpDeltaCombiner
 
-        engine = GiraphEngine(ClusterSpec(num_workers=1), seed=0)
-        engine.load({0: {"kind": 0, "vid": 0, "bucket": 0}})
-        program = SHPColumnarProgram.__new__(SHPColumnarProgram)
-        with pytest.raises(ValueError, match="combiner"):
-            engine.run(program, max_supersteps=1, combiner=SumCombiner())
+        batch_program = SHPColumnarProgram.__new__(SHPColumnarProgram)
+
+        # Batch-capable combiners pass through for batch programs.
+        for ok in (SumCombiner(), ShpDeltaCombiner()):
+            assert resolve_combiner(batch_program, ok) is ok
+        assert resolve_combiner(batch_program, None) is None
+
+        # A dict-only custom combiner is the genuinely unsupported case.
+        class DictOnly(Combiner):
+            def combine(self, payloads):
+                return payloads
+
+        with pytest.raises(ValueError, match="combine_batch"):
+            resolve_combiner(batch_program, DictOnly())
+        # ...but is fine for dict-path programs.
+        dict_program = EchoProgram(adjacency={})
+        assert isinstance(resolve_combiner(dict_program, DictOnly()), DictOnly)
+
+        with pytest.raises(TypeError, match="Combiner"):
+            resolve_combiner(dict_program, object())
 
     def test_compact_deduplicates_shared_rows(self):
         pool = np.arange(10, dtype=np.int32)

@@ -117,7 +117,7 @@ class TestValidationErrors:
             ({"algorithm": {"name": "nope"}}, "algorithm.name"),
             ({"algorithm": {"objective": "nope"}}, "algorithm.objective"),
             ({"algorithm": {"level_mode": "nope"}}, "algorithm.level_mode"),
-            ({"execution": {"backend": "rpc"}}, "execution.backend"),
+            ({"execution": {"backend": "smoke-signal"}}, "execution.backend"),
             ({"execution": {"vertex_mode": "nope"}}, "execution.vertex_mode"),
             ({"serving": {"method": "3"}}, "serving.method"),
         ],

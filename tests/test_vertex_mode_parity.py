@@ -5,6 +5,12 @@ given seed, every cell of {sim, mp} × {dict, columnar} × {mode "2", mode
 "k"} × {unweighted, query-weighted} must produce bitwise-identical
 assignments and identical message/byte meters.  The dict/sim cell is the
 reference; every other cell is compared against it.
+
+A second grid pins combiners the same way across all three backends:
+{sim, mp, rpc} × {dict, columnar} × {combiner on, off} — assignments
+bitwise-equal everywhere (combining is semantically transparent), logical
+meters equal across backends *per combiner setting*, and combiner-on
+remote traffic strictly below combiner-off.
 """
 
 from __future__ import annotations
@@ -95,3 +101,59 @@ class TestVertexModeParity:
                 step.remote_bytes_per_worker, ref.remote_bytes_per_worker
             )
             assert np.array_equal(step.ops_per_worker, ref.ops_per_worker)
+
+
+def _run_combiner(graph, backend, vertex_mode, combiner):
+    job = DistributedSHP(
+        _config(),
+        cluster=ClusterSpec(num_workers=3),
+        mode="2",
+        backend=backend,
+        vertex_mode=vertex_mode,
+        combiner=combiner,
+    )
+    return job.run(graph)
+
+
+@pytest.fixture(scope="module")
+def combiner_references(graphs):
+    """sim/dict runs, one per combiner setting."""
+    graph = graphs["unweighted"]
+    return {c: _run_combiner(graph, "sim", "dict", c) for c in (False, True)}
+
+
+@pytest.mark.parametrize("backend", ["sim", "mp", "rpc"])
+@pytest.mark.parametrize("vertex_mode", ["dict", "columnar"])
+@pytest.mark.parametrize("combiner", [False, True])
+class TestCombinerBackendParity:
+    def test_cell_matches_reference(
+        self, graphs, combiner_references, backend, vertex_mode, combiner
+    ):
+        if (backend, vertex_mode) == ("sim", "dict"):
+            pytest.skip("reference cell")
+        reference = combiner_references[combiner]
+        run = _run_combiner(graphs["unweighted"], backend, vertex_mode, combiner)
+
+        assert np.array_equal(run.assignment, reference.assignment)
+        assert run.supersteps == reference.supersteps
+        assert run.moved_history == reference.moved_history
+        for step, ref in zip(run.metrics.supersteps, reference.metrics.supersteps):
+            assert step.phase == ref.phase
+            assert step.messages_remote == ref.messages_remote
+            assert step.bytes_remote == ref.bytes_remote
+            assert step.active_vertices == ref.active_vertices
+            assert np.array_equal(
+                step.remote_bytes_per_worker, ref.remote_bytes_per_worker
+            )
+
+
+def test_combiner_is_transparent_and_saves_bytes(combiner_references):
+    """Same assignment with and without combining, strictly fewer bytes."""
+    off = combiner_references[False]
+    on = combiner_references[True]
+    assert np.array_equal(on.assignment, off.assignment)
+    assert on.supersteps == off.supersteps
+    assert on.metrics.total_messages < off.metrics.total_messages
+    on_bytes = sum(s.bytes_remote for s in on.metrics.supersteps)
+    off_bytes = sum(s.bytes_remote for s in off.metrics.supersteps)
+    assert on_bytes < off_bytes

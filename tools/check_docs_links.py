@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in README.md and docs/.
+
+Scans markdown files for inline links/images ``[text](target)`` and checks
+every relative target against the working tree:
+
+* ``docs/foo.md`` / ``../examples/x.toml`` — the file must exist, resolved
+  against the *linking* file's directory.
+* ``file.md#fragment`` — the file must exist *and* contain a heading whose
+  GitHub-style anchor slug matches ``fragment``.
+* ``#fragment`` — checked against the current file's own headings.
+
+External schemes (``http://``, ``https://``, ``mailto:``) are skipped —
+this is an offline, deterministic check.  Exit status is the number of
+broken links (0 = clean), so CI can run it directly:
+
+    python tools/check_docs_links.py
+
+Used by ``tests/test_docs_links.py`` and the CI ``docs`` step.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Inline markdown links and images: [text](target) — tolerates one level of
+# nested brackets in the text (e.g. badges), stops the target at ')' or space.
+LINK_RE = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's markdown heading → anchor id transformation."""
+    text = re.sub(r"[*_`]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(md_path: Path) -> set[str]:
+    body = FENCE_RE.sub("", md_path.read_text(encoding="utf-8"))
+    slugs: dict[str, int] = {}
+    out = set()
+    for match in HEADING_RE.finditer(body):
+        slug = _slugify(match.group(1))
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def iter_markdown_files(repo: Path = REPO) -> list[Path]:
+    files = [repo / "README.md"]
+    files.extend(sorted((repo / "docs").rglob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(md_path: Path, repo: Path = REPO) -> list[str]:
+    """Return human-readable problems for every broken link in *md_path*."""
+    body = FENCE_RE.sub("", md_path.read_text(encoding="utf-8"))
+    problems = []
+    rel = md_path.relative_to(repo)
+    for match in LINK_RE.finditer(body):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if not path_part:  # same-file anchor
+            dest = md_path
+        else:
+            dest = (md_path.parent / path_part).resolve()
+            if not dest.exists():
+                problems.append(f"{rel}: broken link -> {target}")
+                continue
+            if not dest.is_relative_to(repo):
+                problems.append(f"{rel}: link escapes the repo -> {target}")
+                continue
+        if fragment and dest.suffix == ".md" and fragment not in _anchors(dest):
+            problems.append(f"{rel}: missing anchor -> {target}")
+    return problems
+
+
+def main() -> int:
+    problems = []
+    for md_file in iter_markdown_files():
+        problems.extend(check_file(md_file))
+    for line in problems:
+        print(line, file=sys.stderr)
+    if not problems:
+        print(f"docs links OK ({len(iter_markdown_files())} files checked)")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
