@@ -1,0 +1,35 @@
+"""reprolint: static analysis for the repo's own parity invariants.
+
+The runtime parity grids prove determinism *after the fact*; this package
+enforces it at review time by analyzing the source for the hazards that
+break it (see ``docs/development.md``, "Invariants and static checks").
+Run it as ``repro lint [--select/--ignore/--format json] [paths]``.
+
+Public surface:
+
+* :func:`lint_paths` — run the checks, get a :class:`LintReport`;
+* :data:`LINT_CHECKS` — the rule registry (same mechanism as
+  ``PARTITIONERS`` etc.); register a :class:`Check` subclass on it to add
+  a rule;
+* :class:`Finding` / :class:`LintReport` — results, JSON-serializable.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    LINT_CHECKS,
+    Check,
+    FileContext,
+    Finding,
+    LintReport,
+    lint_paths,
+)
+
+__all__ = [
+    "LINT_CHECKS",
+    "Check",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "lint_paths",
+]

@@ -1,0 +1,163 @@
+"""REP001 unseeded-rng: all randomness must thread through explicit seeds.
+
+The parity invariants hold because every random draw derives from the job
+seed — either a ``SeedSequence``/``default_rng(seed)`` stream created once
+per component, or the counter-based ``ctx.random`` hash in
+``distributed/engine.py``.  A module-level ``np.random.*`` call or any
+stdlib ``random.*`` usage reads hidden global state, which differs across
+processes and import orders, so one such call silently breaks bitwise
+cross-backend parity.
+
+Flagged:
+
+* calls through ``numpy.random`` module-level convenience functions
+  (``np.random.randint(...)``, ``np.random.seed(...)``, ...);
+* seeded-constructor calls (``default_rng``, ``Generator``, ``PCG64``,
+  ``SeedSequence``, ...) with *no* arguments or an explicit ``None`` seed —
+  those fall back to OS entropy;
+* any use of the stdlib ``random`` module (imports and calls).
+
+Allowed: ``np.random.default_rng(seed)`` and friends with a real seed, and
+``Generator(bitgen)`` over an explicitly constructed bit generator.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import LINT_CHECKS, Check, FileContext, Finding, dotted_name
+
+#: numpy.random constructors that are fine *when given a seed*.
+_SEEDED_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "RandomState",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+class _Aliases(ast.NodeVisitor):
+    """Resolve local names to ``numpy``/``numpy.random``/stdlib ``random``."""
+
+    def __init__(self) -> None:
+        self.numpy: set[str] = set()
+        self.numpy_random: set[str] = set()
+        self.stdlib_random: set[str] = set()
+        #: local name -> numpy.random function it was imported as.
+        self.np_random_funcs: dict[str, str] = {}
+        self.stdlib_import_nodes: list[ast.AST] = []
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "numpy":
+                self.numpy.add(local)
+            elif alias.name == "numpy.random":
+                if alias.asname:
+                    self.numpy_random.add(alias.asname)
+                else:
+                    self.numpy.add("numpy")
+            elif alias.name == "random":
+                self.stdlib_random.add(local)
+                self.stdlib_import_nodes.append(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy" and node.level == 0:
+            for alias in node.names:
+                if alias.name == "random":
+                    self.numpy_random.add(alias.asname or "random")
+        elif node.module == "numpy.random" and node.level == 0:
+            for alias in node.names:
+                self.np_random_funcs[alias.asname or alias.name] = alias.name
+        elif node.module == "random" and node.level == 0:
+            self.stdlib_import_nodes.append(node)
+            for alias in node.names:
+                self.stdlib_random.add(alias.asname or alias.name)
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _unseeded(call: ast.Call) -> bool:
+    """A seeded-constructor call with no real seed argument."""
+    args = [a for a in call.args if not isinstance(a, ast.Starred)]
+    if any(isinstance(a, ast.Starred) for a in call.args) or any(
+        kw.arg is None for kw in call.keywords
+    ):
+        return False  # *args/**kwargs: assume the seed is in there
+    positional_seed = bool(args) and not _is_none(args[0])
+    keyword_seed = any(
+        kw.arg in ("seed", "entropy", "bit_generator") and not _is_none(kw.value)
+        for kw in call.keywords
+    )
+    return not (positional_seed or keyword_seed)
+
+
+@LINT_CHECKS.register(
+    "REP001", aliases=("unseeded-rng",), doc="unseeded or global-state RNG"
+)
+class UnseededRng(Check):
+    code = "REP001"
+    name = "unseeded-rng"
+    severity = "error"
+    scope = ()  # all of src/repro/
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        aliases = _Aliases()
+        aliases.visit(ctx.tree)
+        findings: list[Finding] = []
+
+        for node in aliases.stdlib_import_nodes:
+            findings.append(ctx.finding(
+                self, node,
+                "stdlib `random` imported: global-state RNG breaks "
+                "cross-backend parity; derive draws from the job seed via "
+                "numpy SeedSequence substreams or ctx.random",
+            ))
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            head, _, rest = name.partition(".")
+            func: str | None = None
+            if head in aliases.numpy and rest.startswith("random."):
+                func = rest[len("random."):]
+            elif head in aliases.numpy_random and rest and "." not in rest:
+                func = rest
+            elif name in aliases.np_random_funcs:
+                func = aliases.np_random_funcs[name]
+            elif head in aliases.stdlib_random and rest and "." not in rest:
+                findings.append(ctx.finding(
+                    self, node,
+                    f"stdlib random call `{name}(...)` uses hidden global "
+                    "state; use a seeded numpy Generator instead",
+                ))
+                continue
+            if func is None:
+                continue
+            if func in _SEEDED_CONSTRUCTORS:
+                if _unseeded(node):
+                    findings.append(ctx.finding(
+                        self, node,
+                        f"`{name}()` without a seed falls back to OS "
+                        "entropy; pass a seed derived from the job seed",
+                    ))
+            elif func[:1].islower():
+                findings.append(ctx.finding(
+                    self, node,
+                    f"module-level `{name}(...)` draws from numpy's hidden "
+                    "global RNG; use a seeded Generator "
+                    "(default_rng(seed)) or ctx.random",
+                ))
+        return findings

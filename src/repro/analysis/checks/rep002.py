@@ -1,0 +1,166 @@
+"""REP002 unordered-float-fold: no accumulation over unsorted dict/set order.
+
+Float addition is not associative, so a fold whose iteration order comes
+from a ``dict``/``set`` produces different bit patterns when insertion
+order differs — and insertion order *does* differ across the dict and
+columnar vertex paths and across worker counts.  Any accumulation driven
+by ``.items()``/``.values()``/``.keys()`` or set iteration must go through
+``sorted(...)`` to pin the fold order (the canonical fix throughout
+``distributed_shp``), or be suppressed with a reason when the accumulated
+values are integers (integer totals are order-exact).
+
+Flagged inside ``for`` loops (and comprehensions) over unsorted dict/set
+iterables:
+
+* augmented accumulation: ``total += v``, ``acc[key] -= v``;
+* the get-default fold idiom: ``d[k] = d.get(k, 0.0) + v``;
+* ``sum(...)``/``math.fsum(...)`` over a generator or comprehension whose
+  source is an unsorted dict view or set.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import LINT_CHECKS, Check, FileContext, Finding, dotted_name
+
+_DICT_VIEW_METHODS = {"items", "values", "keys"}
+_WRAPPERS = {"list", "tuple", "reversed", "iter", "enumerate"}
+
+
+def unsorted_dict_iter(node: ast.AST) -> bool:
+    """Does this iterable expression carry dict/set iteration order?
+
+    ``sorted(...)`` (and any other call that imposes an order) returns
+    False; wrappers like ``list(...)``/``enumerate(...)`` are transparent.
+    """
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in _WRAPPERS and node.args:
+            return unsorted_dict_iter(node.args[0])
+        if name == "set":
+            return True
+        if isinstance(node.func, ast.Attribute) and (
+            node.func.attr in _DICT_VIEW_METHODS and not node.args
+        ):
+            return True
+        return False
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return False
+
+
+def _describe(node: ast.AST) -> str:
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        name = dotted_name(node.func)
+        if name is not None:
+            return f"{name}()"
+    return "a dict/set view"
+
+
+class _FoldVisitor(ast.NodeVisitor):
+    """Track enclosing unsorted-iteration loops; flag folds inside them."""
+
+    def __init__(self, check: "UnorderedFloatFold", ctx: FileContext):
+        self.check = check
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        #: stack of the unsorted iterables of enclosing for-loops.
+        self._loop_stack: list[ast.AST] = []
+
+    # -- loops ---------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        unsorted = unsorted_dict_iter(node.iter)
+        if unsorted:
+            self._loop_stack.append(node.iter)
+        self.generic_visit(node)
+        if unsorted:
+            self._loop_stack.pop()
+
+    visit_AsyncFor = visit_For  # type: ignore[assignment]
+
+    # -- fold shapes ---------------------------------------------------
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._loop_stack and isinstance(node.op, (ast.Add, ast.Sub)):
+            self.findings.append(self.ctx.finding(
+                self.check, node,
+                f"accumulation inside a loop over "
+                f"{_describe(self._loop_stack[-1])} depends on dict/set "
+                "order; iterate sorted(...) to pin the fold order "
+                "(or suppress with a reason if the values are integers)",
+            ))
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # d[k] = d.get(k, default) <op> v   (the get-default fold idiom)
+        if self._loop_stack and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Subscript) and self._is_get_fold(
+                target, node.value
+            ):
+                self.findings.append(self.ctx.finding(
+                    self.check, node,
+                    f"`d[k] = d.get(k, ...) + v` fold inside a loop over "
+                    f"{_describe(self._loop_stack[-1])} depends on dict/set "
+                    "order; iterate sorted(...) to pin the fold order",
+                ))
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_get_fold(target: ast.Subscript, value: ast.AST) -> bool:
+        if not isinstance(value, ast.BinOp) or not isinstance(
+            value.op, (ast.Add, ast.Sub)
+        ):
+            return False
+        base = dotted_name(target.value)
+        for side in (value.left, value.right):
+            if (
+                isinstance(side, ast.Call)
+                and isinstance(side.func, ast.Attribute)
+                and side.func.attr == "get"
+                and dotted_name(side.func.value) == base
+                and base is not None
+            ):
+                return True
+        return False
+
+    # -- sum() over unsorted views ------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name in ("sum", "math.fsum") and node.args:
+            arg = node.args[0]
+            sources: list[ast.AST] = []
+            if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                sources = [gen.iter for gen in arg.generators]
+            else:
+                sources = [arg]
+            for src in sources:
+                if unsorted_dict_iter(src):
+                    self.findings.append(self.ctx.finding(
+                        self.check, node,
+                        f"`{name}(...)` over {_describe(src)} folds in "
+                        "dict/set order; sum over sorted(...) "
+                        "(or suppress with a reason if the values are "
+                        "integers)",
+                    ))
+                    break
+        self.generic_visit(node)
+
+
+@LINT_CHECKS.register(
+    "REP002",
+    aliases=("unordered-float-fold",),
+    doc="float accumulation in dict/set iteration order",
+)
+class UnorderedFloatFold(Check):
+    code = "REP002"
+    name = "unordered-float-fold"
+    severity = "error"
+    scope = ("core/", "objectives/", "distributed/", "distributed_shp/")
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        visitor = _FoldVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        return visitor.findings

@@ -1,0 +1,111 @@
+"""REP003 wire-schema-exactness: message schemas declare exact wire dtypes.
+
+``MessageBatch`` columns cross process and host boundaries, and
+``per_message_nbytes`` meters network cost from the declared dtypes.  A
+column declared as ``object`` serializes via pickle (unmetered, and not
+bitwise-stable), and a bare ``int``/``float``/``"f8"`` dtype resolves to
+the *platform's* native width and endianness — so the same job meters
+differently on different hosts.  Every ``MessageSchema`` field must
+therefore declare a fixed-width, explicit-endianness dtype string
+(``"<i8"``, ``"<f8"``, ``">u4"``, ...; single-byte ``"i1"``/``"u1"``/
+``"b1"``/``"?"`` need no byte order).
+
+The check validates every ``MessageSchema(...)`` call whose fields are
+literal tuples; a non-literal fields expression is flagged too, because a
+schema the analyzer cannot see is a schema reviewers cannot audit.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..core import LINT_CHECKS, Check, FileContext, Finding, dotted_name
+
+#: explicit-endian multibyte, or order-free single-byte dtypes.
+_DTYPE_RE = re.compile(r"^(?:[<>][iufc](?:2|4|8|16)|\|?[iub]1|\|?\?|S\d+|V\d+)$")
+
+
+def dtype_problem(dtype: object) -> str | None:
+    """Why ``dtype`` is not wire-exact, or None if it is fine."""
+    if not isinstance(dtype, str):
+        return (
+            f"dtype must be a fixed-width string literal, got "
+            f"{type(dtype).__name__}"
+        )
+    if dtype in ("object", "O", "|O"):
+        return "object dtype pickles per element: unmetered and not bitwise-stable"
+    if _DTYPE_RE.match(dtype):
+        return None
+    if re.match(r"^[iufc](?:2|4|8|16)$", dtype) or dtype in (
+        "int", "float", "int32", "int64", "float32", "float64",
+    ):
+        return (
+            f"dtype {dtype!r} has platform-dependent byte order; "
+            "declare it explicitly (e.g. '<i8', '<f8')"
+        )
+    return f"dtype {dtype!r} is not a fixed-width explicit-endian dtype"
+
+
+@LINT_CHECKS.register(
+    "REP003",
+    aliases=("wire-schema-exactness",),
+    doc="MessageSchema columns must be fixed-width, explicit-endian",
+)
+class WireSchemaExactness(Check):
+    code = "REP003"
+    name = "wire-schema-exactness"
+    severity = "error"
+    scope = ()  # schemas may be declared anywhere in the package
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or name.split(".")[-1] != "MessageSchema":
+                continue
+            fields = self._fields_expr(node)
+            if fields is None:
+                continue  # schema without fields: constructor will fail
+            if not isinstance(fields, (ast.Tuple, ast.List)):
+                findings.append(ctx.finding(
+                    self, fields,
+                    "MessageSchema fields are not a literal tuple; declare "
+                    "columns inline so their dtypes can be audited",
+                ))
+                continue
+            for elt in fields.elts:
+                findings.extend(self._check_field(ctx, elt))
+        return findings
+
+    @staticmethod
+    def _fields_expr(call: ast.Call) -> ast.AST | None:
+        for kw in call.keywords:
+            if kw.arg == "fields":
+                return kw.value
+        if call.args:
+            return call.args[0]
+        return None
+
+    def _check_field(self, ctx: FileContext, elt: ast.AST) -> Iterable[Finding]:
+        if not isinstance(elt, (ast.Tuple, ast.List)) or len(elt.elts) != 2:
+            yield ctx.finding(
+                self, elt,
+                "schema field must be a literal (name, dtype) pair",
+            )
+            return
+        dtype_node = elt.elts[1]
+        if not isinstance(dtype_node, ast.Constant):
+            yield ctx.finding(
+                self, dtype_node,
+                "schema field dtype must be a string literal so the wire "
+                "layout is auditable",
+            )
+            return
+        problem = dtype_problem(dtype_node.value)
+        if problem is not None:
+            yield ctx.finding(self, dtype_node, problem)

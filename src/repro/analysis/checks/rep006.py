@@ -1,0 +1,104 @@
+"""REP006 wallclock-in-kernel: no wall-clock reads inside engine kernels.
+
+Vertex programs, combiners, and superstep kernels must be pure functions
+of ``(state, messages, seed)`` — that is what makes replay and the
+cross-backend parity grids possible.  A ``time.time()``/``perf_counter()``
+call inside one injects the host's clock into the computation (or, more
+insidiously, into control flow like time-boxed refinement), which can
+never be reproduced.  Timing belongs to the driver layer:
+``distributed/metrics.py`` hooks and the backends' superstep wrappers.
+
+Flagged (in ``distributed_shp/`` and the engine/message kernels of
+``distributed/``): any call to ``time.time``, ``time.perf_counter``,
+``time.monotonic``, ``time.process_time``, ``time.time_ns`` or their
+``_ns`` variants, including from-imported spellings, plus
+``datetime.now()``/``datetime.utcnow()``.  The driver-side backends
+(``distributed/backend*.py``), runner, and benchmarks are outside the
+scope and may time freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import LINT_CHECKS, Check, FileContext, Finding, dotted_name
+
+_CLOCK_FUNCS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+
+class _ClockVisitor(ast.NodeVisitor):
+    def __init__(self, check: "WallclockInKernel", ctx: FileContext):
+        self.check = check
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        #: names bound by `from time import perf_counter [as pc]`.
+        self.clock_aliases: dict[str, str] = {}
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time" and node.level == 0:
+            for alias in node.names:
+                if alias.name in _CLOCK_FUNCS:
+                    self.clock_aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            head, _, rest = name.partition(".")
+            if head == "time" and rest in _CLOCK_FUNCS:
+                self._flag(node, name)
+            elif name in self.clock_aliases:
+                self._flag(node, f"time.{self.clock_aliases[name]}")
+            elif (
+                rest in _DATETIME_FUNCS
+                and head in ("datetime", "date")
+            ) or (
+                name.startswith("datetime.")
+                and name.split(".")[-1] in _DATETIME_FUNCS
+            ):
+                self._flag(node, name)
+        self.generic_visit(node)
+
+    def _flag(self, node: ast.Call, spelled: str) -> None:
+        self.findings.append(self.ctx.finding(
+            self.check, node,
+            f"`{spelled}()` reads the wall clock inside kernel code; "
+            "kernels must be pure functions of (state, messages, seed) — "
+            "move timing to distributed/metrics.py hooks or the backend "
+            "driver",
+        ))
+
+
+@LINT_CHECKS.register(
+    "REP006",
+    aliases=("wallclock-in-kernel",),
+    doc="no wall-clock reads in superstep/vertex/combiner code",
+)
+class WallclockInKernel(Check):
+    code = "REP006"
+    name = "wallclock-in-kernel"
+    severity = "error"
+    # Kernel code: the vertex programs/combiners and the engine itself.
+    # Backends (backend*.py), metrics, and the runner are driver code.
+    scope = (
+        "distributed_shp/",
+        "distributed/engine.py",
+        "distributed/messages.py",
+    )
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        visitor = _ClockVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        return visitor.findings

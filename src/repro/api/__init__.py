@@ -16,6 +16,8 @@ make new implementations addressable by name from any spec.
 
 from __future__ import annotations
 
+from typing import Any
+
 from .registry import BACKENDS, MATCHERS, OBJECTIVES, PARTITIONERS, Registry
 from .spec import (
     AlgorithmSpec,
@@ -64,7 +66,7 @@ _RUNNER_NAMES = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     # The runner pulls in the whole package (baselines, engine, serving);
     # importing it lazily keeps `repro.api.registry` / `repro.api.spec`
     # import-light so implementation modules can register themselves

@@ -69,7 +69,7 @@ class Registry:
         arguments are stored as metadata (see :meth:`meta`).
         """
 
-        def decorator(obj):
+        def decorator(obj: Any) -> Any:
             if _normalize(name) in self._lookup:
                 raise ValueError(f"duplicate {self.kind} name {name!r}")
             self._entries[name] = obj

@@ -28,6 +28,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -148,7 +149,7 @@ def smoke_spec(spec: JobSpec) -> JobSpec:
 # execution dispatch
 # ----------------------------------------------------------------------
 
-def _run_local(spec: JobSpec, graph: BipartiteGraph):
+def _run_local(spec: JobSpec, graph: BipartiteGraph) -> Any:
     """In-process partitioner run via the registry."""
     alg = spec.algorithm
     partitioner = PARTITIONERS.get(alg.name)
@@ -164,7 +165,7 @@ def _run_local(spec: JobSpec, graph: BipartiteGraph):
     return partitioner(graph, **kwargs)
 
 
-def _run_engine(spec: JobSpec, graph: BipartiteGraph):
+def _run_engine(spec: JobSpec, graph: BipartiteGraph) -> Any:
     """Vertex-centric engine run on the configured backend."""
     from ..core.config import SHPConfig
     from ..distributed import ClusterSpec
@@ -398,7 +399,7 @@ def load_run(run_dir: str | Path) -> RunArtifacts:
     return RunArtifacts(manifest=manifest, assignment=assignment, k=k, metrics=metrics)
 
 
-def _jsonable(value):
+def _jsonable(value: Any) -> Any:
     if isinstance(value, np.integer):
         return int(value)
     if isinstance(value, np.floating):

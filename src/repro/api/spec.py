@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from .registry import BACKENDS, OBJECTIVES, PARTITIONERS
+from .registry import BACKENDS, OBJECTIVES, PARTITIONERS, Registry
 
 try:  # Python 3.11+
     import tomllib
@@ -100,7 +100,7 @@ def _check_choice(value: Any, choices: Iterable[str], path: str) -> None:
         )
 
 
-def _check_registry(value: Any, registry, path: str) -> None:
+def _check_registry(value: Any, registry: Registry, path: str) -> None:
     _check_type(value, str, path)
     if value not in registry:
         raise SpecError(
@@ -109,7 +109,7 @@ def _check_registry(value: Any, registry, path: str) -> None:
         )
 
 
-def _build(cls, data: Any, path: str):
+def _build(cls: type, data: Any, path: str) -> Any:
     """Construct a spec dataclass from a mapping, rejecting unknown keys."""
     if isinstance(data, cls):
         return data
@@ -413,7 +413,7 @@ class JobSpec:
         apply_overrides(data, overrides)
         return cls.from_dict(data)
 
-    def with_(self, **kwargs) -> "JobSpec":
+    def with_(self, **kwargs: Any) -> "JobSpec":
         """Copy with top-level fields replaced (sections are specs)."""
         return dataclasses.replace(self, **kwargs)
 

@@ -234,6 +234,25 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint; exit status is the unsuppressed-finding count."""
+    import json as _json
+
+    from .analysis import lint_paths
+
+    paths = args.paths or ["src"]
+    try:
+        report = lint_paths(paths, select=args.select, ignore=args.ignore)
+    except (FileNotFoundError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        raise SystemExit(f"error: {message}") from exc
+    if args.format == "json":
+        print(_json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_human(show_suppressed=args.show_suppressed))
+    return report.exit_code
+
+
 def _cmd_datasets(_: argparse.Namespace) -> int:
     rows = [
         {
@@ -395,6 +414,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="incremental repair driver (default: shp-2)")
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(func=_cmd_serve_sim)
+
+    li = sub.add_parser(
+        "lint",
+        help="run the repo's determinism/wire-safety static checks "
+        "(reprolint; see docs/development.md)",
+    )
+    li.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src)",
+    )
+    li.add_argument(
+        "--select", action="append", metavar="CODE",
+        help="run only these rule codes (repeatable, e.g. --select REP002)",
+    )
+    li.add_argument(
+        "--ignore", action="append", metavar="CODE",
+        help="skip these rule codes (repeatable)",
+    )
+    li.add_argument(
+        "--format", default="human", choices=["human", "json"],
+        help="output format (default: human)",
+    )
+    li.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also list suppressed findings with their reasons",
+    )
+    li.set_defaults(func=_cmd_lint)
 
     d = sub.add_parser("datasets", help="list the dataset registry")
     d.set_defaults(func=_cmd_datasets)

@@ -300,9 +300,9 @@ def assemble_superstep_metrics(
 def merge_aggregates(target: dict, parts: list[dict]) -> dict:
     """Fold per-worker aggregator dicts into ``target`` (worker-id order)."""
     for part in parts:
-        for name, bucket in part.items():
+        for name, bucket in sorted(part.items()):
             merged = target.setdefault(name, {})
-            for key, value in bucket.items():
+            for key, value in sorted(bucket.items()):
                 merged[key] = merged.get(key, 0.0) + value
     return target
 
@@ -513,7 +513,7 @@ class SimulatedBackend(Backend):
 def _sizeof_state(state: dict) -> int:
     total = 64  # object overhead
     for value in state.values():
-        total += sizeof_payload(value)
+        total += sizeof_payload(value)  # reprolint: disable=REP002 -- integer byte sizes: int sums are order-exact
     return total
 
 

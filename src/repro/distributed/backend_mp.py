@@ -76,7 +76,7 @@ class SharedArrayPack:
         for name, arr in arrays.items():
             arr = np.ascontiguousarray(arr)
             layout.append((name, arr.dtype.str, arr.shape, offset))
-            offset += arr.nbytes
+            offset += arr.nbytes  # reprolint: disable=REP002 -- integer byte offsets: the stored layout records whatever order is used
         shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
         for (name, dtype, shape, off), arr in zip(layout, arrays.values()):
             nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize

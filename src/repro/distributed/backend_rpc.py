@@ -474,7 +474,7 @@ class RpcBackend(Backend):
                     {wid: self._inboxes[wid] for wid in wids},
                 )
                 try:
-                    wire += send_obj(peer.sock, payload)
+                    wire += send_obj(peer.sock, payload)  # reprolint: disable=REP002 -- integer wire-byte meter: int sums are order-exact
                 except (WireError, OSError):
                     self._mark_dead(peer_idx)
                     continue

@@ -256,7 +256,7 @@ class BatchContext:
     def aggregate_items(self, name: str, items: dict) -> None:
         """Merge ``{key: value}`` sums into the named global aggregator."""
         bucket = self._aggregates.setdefault(name, {})
-        for key, value in items.items():
+        for key, value in sorted(items.items()):
             bucket[key] = bucket.get(key, 0.0) + value
 
     def charge(self, ops: float) -> None:

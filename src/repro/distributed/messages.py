@@ -46,7 +46,7 @@ def sizeof_payload(payload: object) -> int:
     if isinstance(payload, (tuple, list)):
         return 8 + sum(sizeof_payload(item) for item in payload)
     if isinstance(payload, dict):
-        return 8 + sum(
+        return 8 + sum(  # reprolint: disable=REP002 -- integer byte sizes: int sums are order-exact
             sizeof_payload(key) + sizeof_payload(value) for key, value in payload.items()
         )
     if isinstance(payload, np.ndarray):

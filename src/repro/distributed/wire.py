@@ -124,7 +124,7 @@ def recv_frame(sock: socket.socket) -> tuple[bytes, int]:
     return payload, HEADER.size + length
 
 
-def send_obj(sock: socket.socket, obj) -> int:
+def send_obj(sock: socket.socket, obj: object) -> int:
     """Pickle and send one object as a frame; returns bytes written."""
     return send_frame(sock, pickle.dumps(obj, protocol=_PICKLE_PROTO))
 

@@ -90,7 +90,7 @@ class _Partition:
         total = 0
         for value in self.__dict__.values():
             if isinstance(value, np.ndarray):
-                total += value.nbytes
+                total += value.nbytes  # reprolint: disable=REP002 -- integer byte sizes: int sums are order-exact
         return total
 
 

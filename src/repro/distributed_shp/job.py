@@ -190,12 +190,12 @@ class _SHPVertexProgram:
             weight_sum += weight
             count_here = neighbor_data.get(bucket, 1)
             rsum += weight * rem(count_here)
-            for other_bucket, count in neighbor_data.items():
+            for other_bucket, count in sorted(neighbor_data.items()):
                 if other_bucket != bucket:
                     adjust[other_bucket] = adjust.get(other_bucket, 0.0) + weight * (
                         ins(count) - ins0
                     )
-        ctx.charge(sum(len(nd) for _, nd in qdata.values()))
+        ctx.charge(sum(len(nd) for _, nd in qdata.values()))  # reprolint: disable=REP002 -- integer edge counts: int sums are order-exact
 
         if self.mode == "2":
             # Only the sibling bucket is reachable at this level.

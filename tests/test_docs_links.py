@@ -67,3 +67,26 @@ def test_checker_ignores_external_and_fenced(tmp_path):
 )
 def test_slugify_matches_github_style(heading, slug):
     assert check_docs_links._slugify(heading) == slug
+
+
+def test_repo_example_jobs_all_parse():
+    """Every committed examples/jobs/*.toml is a valid JobSpec."""
+    assert sorted((REPO / "examples" / "jobs").glob("*.toml")), (
+        "examples/jobs/ should ship at least one job spec"
+    )
+    assert check_docs_links.check_example_jobs() == []
+
+
+def test_checker_flags_invalid_example_job(tmp_path):
+    jobs = tmp_path / "examples" / "jobs"
+    jobs.mkdir(parents=True)
+    (jobs / "good.toml").write_text(
+        'kind = "partition"\n\n[graph]\nsource = "file"\npath = "g.hgr"\n\n'
+        "[algorithm]\nk = 4\n"
+    )
+    (jobs / "bad.toml").write_text(
+        'kind = "partition"\n\n[algorithm]\nk = 4\nbogus_knob = 1\n'
+    )
+    problems = check_docs_links.check_example_jobs(repo=tmp_path)
+    assert len(problems) == 1
+    assert "bad.toml" in problems[0]

@@ -1,0 +1,416 @@
+"""reprolint: per-rule true-positive/clean fixtures, suppressions, output.
+
+Every REP rule gets at least one snippet it must flag and one it must
+pass; suppression parsing (reasons are mandatory, stale waivers are
+flagged) and the JSON report shape are pinned; and the repo's own source
+must lint clean — the same gate CI enforces.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LINT_CHECKS, lint_paths
+from repro.analysis.checks.rep005 import audit_registry_cli_sync
+from repro.api.registry import Registry
+from repro.cli import main as cli_main
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run_lint(tmp_path, source: str, select=None, name="snippet.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return lint_paths([path], select=select)
+
+
+def codes(report) -> list[str]:
+    return [f.code for f in report.unsuppressed]
+
+
+# ----------------------------------------------------------------------
+# framework basics
+# ----------------------------------------------------------------------
+
+def test_all_six_rules_are_registered():
+    assert LINT_CHECKS.names() == [
+        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+    ]
+    # aliases resolve like every other registry
+    assert LINT_CHECKS.canonical("unseeded-rng") == "REP001"
+    assert LINT_CHECKS.canonical("rep002") == "REP002"
+
+
+def test_select_and_ignore_narrow_the_run(tmp_path):
+    source = "import random\nimport time\nt = time.time()\n"
+    only_rng = run_lint(tmp_path, source, select=["REP001"])
+    assert codes(only_rng) == ["REP001"]
+    no_rng = lint_paths([tmp_path / "snippet.py"], ignore=["REP001"])
+    assert "REP001" not in codes(no_rng)
+
+
+def test_unparsable_file_is_a_finding_not_a_crash(tmp_path):
+    report = run_lint(tmp_path, "def broken(:\n")
+    assert codes(report) == ["REP000"]
+    assert "does not parse" in report.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# REP001 unseeded-rng
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    "import numpy as np\nx = np.random.rand(3)\n",
+    "import numpy as np\nrng = np.random.default_rng()\n",
+    "import numpy as np\nrng = np.random.default_rng(None)\n",
+    "import random\n",
+    "from random import shuffle\n",
+    "import random\nx = random.random()\n",
+    "from numpy.random import default_rng\nrng = default_rng()\n",
+])
+def test_rep001_flags(tmp_path, bad):
+    assert "REP001" in codes(run_lint(tmp_path, bad, select=["REP001"]))
+
+
+@pytest.mark.parametrize("good", [
+    "import numpy as np\nrng = np.random.default_rng(42)\n",
+    "import numpy as np\nrng = np.random.default_rng(seed)\n",
+    "import numpy as np\nss = np.random.SeedSequence(7)\n",
+    "from numpy.random import default_rng\nrng = default_rng(123)\n",
+    "import numpy as np\nrng = np.random.Generator(np.random.PCG64(1))\n",
+])
+def test_rep001_allows_seeded(tmp_path, good):
+    assert codes(run_lint(tmp_path, good, select=["REP001"])) == []
+
+
+# ----------------------------------------------------------------------
+# REP002 unordered-float-fold
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    # augmented accumulation over a dict view
+    "def f(d):\n    t = 0.0\n    for v in d.values():\n        t += v\n    return t\n",
+    # the get-default fold idiom
+    (
+        "def f(d):\n    out = {}\n    for k, v in d.items():\n"
+        "        out[k] = out.get(k, 0.0) + v\n    return out\n"
+    ),
+    # sum() over an unsorted view
+    "def f(d):\n    return sum(v * 2 for v in d.values())\n",
+    # set iteration
+    "def f(s):\n    t = 0.0\n    for v in {1.5, 2.5}:\n        t += v\n    return t\n",
+    # list() wrapper does not launder dict order
+    "def f(d):\n    t = 0.0\n    for v in list(d.values()):\n        t += v\n    return t\n",
+])
+def test_rep002_flags(tmp_path, bad):
+    assert "REP002" in codes(run_lint(tmp_path, bad, select=["REP002"]))
+
+
+@pytest.mark.parametrize("good", [
+    # sorted() pins the fold order
+    "def f(d):\n    t = 0.0\n    for v in sorted(d.values()):\n        t += v\n    return t\n",
+    "def f(d):\n    return sum(v for k, v in sorted(d.items()))\n",
+    # list iteration is already ordered
+    "def f(xs):\n    t = 0.0\n    for v in xs:\n        t += v\n    return t\n",
+    # scatter assignment is not a fold
+    "def f(d):\n    out = {}\n    for k, v in d.items():\n        out[k] = v\n    return out\n",
+])
+def test_rep002_allows(tmp_path, good):
+    assert codes(run_lint(tmp_path, good, select=["REP002"])) == []
+
+
+# ----------------------------------------------------------------------
+# REP003 wire-schema-exactness
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad_dtype", ["object", "O", "f8", "i4", "int", "float64"])
+def test_rep003_flags(tmp_path, bad_dtype):
+    source = f'S = MessageSchema(fields=(("a", "<i8"), ("b", "{bad_dtype}")))\n'
+    assert "REP003" in codes(run_lint(tmp_path, source, select=["REP003"]))
+
+
+def test_rep003_flags_non_literal_fields(tmp_path):
+    source = "S = MessageSchema(fields=make_fields())\n"
+    assert "REP003" in codes(run_lint(tmp_path, source, select=["REP003"]))
+
+
+@pytest.mark.parametrize("good_dtype", ["<i4", "<i8", "<f8", ">u4", "i1", "u1", "?"])
+def test_rep003_allows_exact(tmp_path, good_dtype):
+    source = f'S = MessageSchema(fields=(("a", "{good_dtype}"),))\n'
+    assert codes(run_lint(tmp_path, source, select=["REP003"])) == []
+
+
+def test_rep003_accepts_repo_schemas():
+    schemas = REPO / "src/repro/distributed_shp/schemas.py"
+    report = lint_paths([schemas], select=["REP003"])
+    assert codes(report) == []
+
+
+# ----------------------------------------------------------------------
+# REP004 wire-pickle-safety
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    "class A:\n    def __init__(self):\n        self.fn = lambda x: x\n",
+    "class A:\n    fn = lambda x: x\n",
+    "def make():\n    class Local:\n        pass\n    return Local\n",
+    "def f(ctx):\n    ctx.send(1, {'fn': lambda x: x})\n",
+    "def f(sock):\n    send_obj(sock, lambda: 1)\n",
+])
+def test_rep004_flags(tmp_path, bad):
+    assert "REP004" in codes(run_lint(tmp_path, bad, select=["REP004"]))
+
+
+@pytest.mark.parametrize("good", [
+    # default_factory lambdas never travel with the pickled instance
+    (
+        "from dataclasses import dataclass, field\n"
+        "@dataclass\nclass A:\n"
+        "    xs: list = field(default_factory=lambda: [])\n"
+    ),
+    # transient local lambdas that never cross the wire
+    "def f(xs):\n    key = lambda x: -x\n    return sorted(xs, key=key)\n",
+    # module-level classes are importable on workers
+    "class A:\n    pass\n",
+])
+def test_rep004_allows(tmp_path, good):
+    assert codes(run_lint(tmp_path, good, select=["REP004"])) == []
+
+
+# ----------------------------------------------------------------------
+# REP005 registry-cli-sync (program analysis, injected doubles)
+# ----------------------------------------------------------------------
+
+def _parser_with(choices):
+    parser = argparse.ArgumentParser()
+    sub = parser.add_subparsers()
+    p = sub.add_parser("partition")
+    p.add_argument("--algorithm", choices=choices)
+    p.add_argument("--objective", choices=["pfanout"])
+    p.add_argument("--backend", choices=["local", "sim"])
+    p.add_argument("--vertex-mode", choices=["columnar", "dict"])
+    c = sub.add_parser("compare")
+    c.add_argument("--algorithms", nargs="*", choices=choices)
+    c.add_argument("--objective", choices=["pfanout"])
+    return parser
+
+
+def _registries(partitioner_names):
+    parts = Registry("partitioner")
+    for name in partitioner_names:
+        parts.register(name)(lambda: None)
+    objs = Registry("objective")
+    objs.register("pfanout")(lambda: None)
+    backs = Registry("backend")
+    backs.register("sim")(lambda: None)
+    return [
+        ("partitioners", parts),
+        ("objectives", objs),
+        ("backends", backs),
+    ]
+
+
+def test_rep005_clean_when_cli_matches_registries():
+    problems = audit_registry_cli_sync(
+        registries=_registries(["shp-2"]),
+        parser=_parser_with(["shp-2"]),
+        vertex_modes=("columnar", "dict"),
+        engine_vertex_modes=("columnar", "dict"),
+    )
+    assert problems == []
+
+
+def test_rep005_flags_choice_drift():
+    problems = audit_registry_cli_sync(
+        registries=_registries(["shp-2", "shp-k"]),
+        parser=_parser_with(["shp-2"]),  # stale: missing shp-k
+        vertex_modes=("columnar", "dict"),
+        engine_vertex_modes=("columnar", "dict"),
+    )
+    assert any("--algorithm" == anchor for anchor, _ in problems)
+    assert any("do not match the registry" in msg for _, msg in problems)
+
+
+def test_rep005_flags_vertex_mode_disagreement():
+    problems = audit_registry_cli_sync(
+        registries=_registries(["shp-2"]),
+        parser=_parser_with(["shp-2"]),
+        vertex_modes=("columnar", "dict"),
+        engine_vertex_modes=("columnar",),
+    )
+    assert any("vertex-mode catalogues disagree" in msg for _, msg in problems)
+
+
+def test_rep005_flags_broken_lazy_loader():
+    broken = Registry("partitioner", loader="repro.no_such_module")
+    problems = audit_registry_cli_sync(
+        registries=[("partitioners", broken), *_registries([])[1:]],
+        parser=_parser_with([]),
+        vertex_modes=("columnar", "dict"),
+        engine_vertex_modes=("columnar", "dict"),
+    )
+    assert any("failed to load" in msg for _, msg in problems)
+
+
+def test_rep005_real_package_is_in_sync():
+    assert audit_registry_cli_sync() == []
+
+
+# ----------------------------------------------------------------------
+# REP006 wallclock-in-kernel
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    "import time\ndef kernel(state):\n    return time.time()\n",
+    "import time\ndef kernel(state):\n    return time.perf_counter()\n",
+    "from time import perf_counter\ndef kernel(state):\n    return perf_counter()\n",
+    "from time import monotonic as clock\ndef kernel(state):\n    return clock()\n",
+    "from datetime import datetime\ndef kernel(s):\n    return datetime.now()\n",
+])
+def test_rep006_flags(tmp_path, bad):
+    assert "REP006" in codes(run_lint(tmp_path, bad, select=["REP006"]))
+
+
+@pytest.mark.parametrize("good", [
+    # sleeping is not reading the clock into the computation
+    "import time\ndef f():\n    time.sleep(0.1)\n",
+    "def kernel(state, seed):\n    return state[seed]\n",
+])
+def test_rep006_allows(tmp_path, good):
+    assert codes(run_lint(tmp_path, good, select=["REP006"])) == []
+
+
+def test_rep006_scope_excludes_driver_code(tmp_path):
+    # Outside fixture mode, backend driver files are out of scope.
+    backend = REPO / "src/repro/distributed/backend.py"
+    report = lint_paths([backend], select=["REP006"])
+    assert codes(report) == []  # backend.py times supersteps legitimately
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+
+BAD_FOLD = (
+    "def f(d):\n"
+    "    t = 0.0\n"
+    "    for v in d.values():\n"
+    "        t += v{comment}\n"
+    "    return t\n"
+)
+
+
+def test_suppression_with_reason_waives_the_finding(tmp_path):
+    source = BAD_FOLD.format(
+        comment="  # reprolint: disable=REP002 -- integer counters only"
+    )
+    report = run_lint(tmp_path, source, select=["REP002"])
+    assert codes(report) == []
+    assert len(report.suppressed) == 1
+    assert report.suppressed[0].suppress_reason == "integer counters only"
+
+
+def test_suppression_without_reason_is_rejected(tmp_path):
+    source = BAD_FOLD.format(comment="  # reprolint: disable=REP002")
+    report = run_lint(tmp_path, source, select=["REP002"])
+    found = codes(report)
+    assert "REP002" in found  # the waiver did not take effect
+    assert "REP000" in found  # and the reasonless waiver is itself flagged
+
+
+def test_file_level_suppression(tmp_path):
+    source = (
+        "# reprolint: file-disable=REP002 -- benchmark file, order-free sums\n"
+        + BAD_FOLD.format(comment="")
+    )
+    report = run_lint(tmp_path, source, select=["REP002"])
+    assert codes(report) == []
+    assert len(report.suppressed) == 1
+
+
+def test_unknown_code_in_suppression_is_flagged(tmp_path):
+    source = "x = 1  # reprolint: disable=REP999 -- no such rule\n"
+    report = run_lint(tmp_path, source)
+    assert any(
+        f.code == "REP000" and "unknown rule" in f.message
+        for f in report.unsuppressed
+    )
+
+
+def test_stale_suppression_is_flagged(tmp_path):
+    source = "x = 1  # reprolint: disable=REP002 -- nothing here to waive\n"
+    report = run_lint(tmp_path, source)
+    assert any(
+        f.code == "REP000" and "matched no finding" in f.message
+        for f in report.unsuppressed
+    )
+
+
+def test_reprolint_mention_in_string_is_not_a_suppression(tmp_path):
+    source = "msg = '# reprolint: disable=REP002 -- quoted example'\n"
+    report = run_lint(tmp_path, source)
+    assert codes(report) == []
+
+
+# ----------------------------------------------------------------------
+# CLI + JSON output
+# ----------------------------------------------------------------------
+
+def test_cli_json_output_shape(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    exit_code = cli_main(["lint", "--format", "json", str(bad)])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert payload["version"] == 1
+    assert payload["tool"] == "reprolint"
+    assert payload["files_checked"] == 1
+    assert payload["summary"] == {
+        "findings": 1, "unsuppressed": 1, "suppressed": 0,
+    }
+    (finding,) = payload["findings"]
+    assert finding["code"] == "REP001"
+    assert finding["severity"] == "error"
+    assert finding["path"].endswith("bad.py")
+    assert finding["line"] == 1
+    assert finding["suppressed"] is False
+    assert finding["suppress_reason"] is None
+
+
+def test_cli_clean_file_exits_zero(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert cli_main(["lint", str(good)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_select_unknown_code_errors(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    with pytest.raises(SystemExit):
+        cli_main(["lint", "--select", "NOPE", str(good)])
+
+
+def test_cli_flags_the_committed_known_bad_fixture(capsys):
+    fixture = REPO / "tests/reprolint_fixtures/known_bad.py"
+    exit_code = cli_main(["lint", "--format", "json", str(fixture)])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code > 0
+    hit = {f["code"] for f in payload["findings"]}
+    # every per-file rule must fire on the fixture (REP005 is project-wide)
+    assert {"REP001", "REP002", "REP003", "REP004", "REP006"} <= hit
+
+
+# ----------------------------------------------------------------------
+# the gate: the repo's own source lints clean
+# ----------------------------------------------------------------------
+
+def test_repo_source_lints_clean_with_reasoned_suppressions():
+    report = lint_paths([REPO / "src"])
+    assert [f.render() for f in report.unsuppressed] == []
+    assert report.suppressed, "the triaged int-fold waivers should exist"
+    for finding in report.suppressed:
+        assert finding.suppress_reason, finding.render()

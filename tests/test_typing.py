@@ -1,0 +1,32 @@
+"""Strict-tier mypy gate (skipped when mypy is not installed locally).
+
+``pyproject.toml`` declares a two-tier policy: ``repro.api.*`` and
+``repro.distributed.wire`` are strict (fully annotated defs), the numeric
+kernels permissive.  CI installs mypy and runs this same command as a lint
+step; locally the test simply skips if mypy is absent.
+"""
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_strict_tier_typechecks():
+    pytest.importorskip("mypy")
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "mypy",
+            "--config-file", str(REPO / "pyproject.toml"),
+            "src/repro/api", "src/repro/distributed/wire.py",
+        ],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

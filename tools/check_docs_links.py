@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Fail on broken intra-repo links in README.md and docs/.
+"""Fail on doc rot: broken intra-repo links, and example jobs that no
+longer parse.
 
 Scans markdown files for inline links/images ``[text](target)`` and checks
 every relative target against the working tree:
@@ -10,9 +11,13 @@ every relative target against the working tree:
   GitHub-style anchor slug matches ``fragment``.
 * ``#fragment`` — checked against the current file's own headings.
 
+Also validates that every ``examples/jobs/*.toml`` parses as a
+:class:`repro.api.JobSpec` — a spec file the runner rejects is doc rot
+exactly like a dead link, just harder to spot in review.
+
 External schemes (``http://``, ``https://``, ``mailto:``) are skipped —
 this is an offline, deterministic check.  Exit status is the number of
-broken links (0 = clean), so CI can run it directly:
+problems (0 = clean), so CI can run it directly:
 
     python tools/check_docs_links.py
 
@@ -86,14 +91,41 @@ def check_file(md_path: Path, repo: Path = REPO) -> list[str]:
     return problems
 
 
+def check_example_jobs(repo: Path = REPO) -> list[str]:
+    """Every ``examples/jobs/*.toml`` must parse as a JobSpec."""
+    jobs_dir = repo / "examples" / "jobs"
+    if not jobs_dir.is_dir():
+        return []
+    src = repo / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.api import JobSpec, SpecError
+
+    problems = []
+    for job in sorted(jobs_dir.glob("*.toml")):
+        rel = job.relative_to(repo)
+        try:
+            JobSpec.from_file(job)
+        except SpecError as exc:
+            problems.append(f"{rel}: invalid job spec -> {exc}")
+        except Exception as exc:  # unparsable TOML etc.
+            problems.append(f"{rel}: does not load -> {type(exc).__name__}: {exc}")
+    return problems
+
+
 def main() -> int:
     problems = []
     for md_file in iter_markdown_files():
         problems.extend(check_file(md_file))
+    problems.extend(check_example_jobs())
     for line in problems:
         print(line, file=sys.stderr)
     if not problems:
-        print(f"docs links OK ({len(iter_markdown_files())} files checked)")
+        jobs = len(list((REPO / "examples" / "jobs").glob("*.toml")))
+        print(
+            f"docs links OK ({len(iter_markdown_files())} files, "
+            f"{jobs} example jobs checked)"
+        )
     return len(problems)
 
 
