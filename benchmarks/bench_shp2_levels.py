@@ -21,12 +21,20 @@ parity at two iteration budgets:
 Fanout parity (≤ 1% difference) is asserted on every row; the RNG streams
 differ per mode (one per level vs one per group), so assignments agree
 statistically, not bitwise — see tests/test_level_fuse.py.
+
+A second bench pits the serial fused path against shared-memory parallel
+refinement (``refine_workers``, see repro.core.parallel_refine): here the
+contract is the strict one — assignments must be **bitwise identical** (the
+deterministic ascending-block merge), asserted at every scale including
+smoke, with the ≥ 2× elapsed floor at 4 workers pinned at full scale only
+(smoke graphs are pure fixed overhead, and CI boxes may not have 4 cores).
 """
 
 from __future__ import annotations
 
 import time
 
+import numpy as np
 from conftest import smoke_mode
 
 from repro import shp_2
@@ -40,6 +48,10 @@ BUDGETS = (("shallow", 20, 1.4), ("converge", 60, 3.0))
 SPEEDUP_K_FLOOR = 64
 FANOUT_TOLERANCE = 0.01
 EPSILON = 0.05
+#: Asserted minimum parallel-over-serial speedup at 4 workers, full scale.
+PARALLEL_WORKERS = 4
+PARALLEL_SPEEDUP_FLOOR = 2.0
+PARALLEL_ITERATIONS = 60
 
 
 def _run_levels():
@@ -79,6 +91,65 @@ def _run_levels():
                 }
             )
     return rows
+
+
+def _run_parallel():
+    num_users = 4000 if smoke_mode() else 200_000
+    ks = (8,) if smoke_mode() else (64, 128)
+    graph = darwini_bipartite(num_users, avg_degree=12, clustering=0.4, seed=41)
+    rows = []
+    for k in ks:
+        timings = {}
+        assignments = {}
+        for workers in (1, PARALLEL_WORKERS):
+            start = time.perf_counter()
+            result = shp_2(
+                graph, k, seed=42, epsilon=EPSILON, level_mode="fused",
+                iterations_per_bisection=PARALLEL_ITERATIONS,
+                refine_workers=workers,
+            )
+            timings[workers] = time.perf_counter() - start
+            assignments[workers] = result.assignment
+        # The deterministic-merge contract: bitwise equality at every
+        # scale, smoke included — parallelism never touches the bits.
+        bitwise = np.array_equal(
+            assignments[1], assignments[PARALLEL_WORKERS]
+        )
+        assert bitwise, f"parallel refinement diverged from serial at k={k}"
+        speedup = timings[1] / timings[PARALLEL_WORKERS]
+        rows.append(
+            {
+                "k": k,
+                "|D|": graph.num_data,
+                "workers": PARALLEL_WORKERS,
+                "serial sec": round(timings[1], 2),
+                "parallel sec": round(timings[PARALLEL_WORKERS], 2),
+                "speedup": round(speedup, 2),
+                "bitwise": "yes" if bitwise else "NO",
+                "_speedup": speedup,
+            }
+        )
+    return rows
+
+
+def test_shp2_parallel_refinement(benchmark):
+    rows = benchmark.pedantic(_run_parallel, rounds=1, iterations=1)
+    display = [{k: v for k, v in row.items() if not k.startswith("_")} for row in rows]
+    record(
+        "shp2_parallel_refine",
+        format_table(
+            display,
+            title="SHP-2 fused refinement: serial vs shared-memory parallel",
+        ),
+        data={"rows": display},
+    )
+    if smoke_mode():
+        return  # tiny graphs: pool spawn dominates, timings not meaningful
+    for row in rows:
+        assert row["_speedup"] >= PARALLEL_SPEEDUP_FLOOR, (
+            f"k={row['k']}: {row['_speedup']:.2f}x < "
+            f"{PARALLEL_SPEEDUP_FLOOR}x at {PARALLEL_WORKERS} workers"
+        )
 
 
 def test_shp2_level_fusion(benchmark):

@@ -8,8 +8,11 @@ insidiously, into control flow like time-boxed refinement), which can
 never be reproduced.  Timing belongs to the driver layer:
 ``distributed/metrics.py`` hooks and the backends' superstep wrappers.
 
-Flagged (in ``distributed_shp/`` and the engine/message kernels of
-``distributed/``): any call to ``time.time``, ``time.perf_counter``,
+Flagged (in ``distributed_shp/``, the engine/message kernels of
+``distributed/``, the shared-memory segment plumbing
+(``distributed/shared_pool.py``), and the parallel level-fused refinement
+kernels ``core/parallel_refine.py`` / ``core/level_fuse.py``): any call
+to ``time.time``, ``time.perf_counter``,
 ``time.monotonic``, ``time.process_time``, ``time.time_ns`` or their
 ``_ns`` variants, including from-imported spellings, plus
 ``datetime.now()``/``datetime.utcnow()``.  The driver-side backends
@@ -89,12 +92,17 @@ class WallclockInKernel(Check):
     code = "REP006"
     name = "wallclock-in-kernel"
     severity = "error"
-    # Kernel code: the vertex programs/combiners and the engine itself.
-    # Backends (backend*.py), metrics, and the runner are driver code.
+    # Kernel code: the vertex programs/combiners, the engine itself, and
+    # the shared-memory parallel refinement kernels (whose worker-side
+    # gain math must be a pure function of the shared arrays).  Backends
+    # (backend*.py), metrics, and the runner are driver code.
     scope = (
         "distributed_shp/",
         "distributed/engine.py",
         "distributed/messages.py",
+        "distributed/shared_pool.py",
+        "core/parallel_refine.py",
+        "core/level_fuse.py",
     )
 
     def run(self, ctx: FileContext) -> Iterable[Finding]:

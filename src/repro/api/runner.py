@@ -161,6 +161,11 @@ def _run_local(spec: JobSpec, graph: BipartiteGraph) -> Any:
             kwargs["objective"] = alg.objective
     if "level_mode" in accepts:
         kwargs["level_mode"] = alg.level_mode
+    if "refine_workers" in accepts and spec.execution.refine_workers > 1:
+        # Parallel level-fused refinement: an execution knob (it changes
+        # where gains are computed, never the bits), so it rides on the
+        # execution spec rather than algorithm options.
+        kwargs["refine_workers"] = spec.execution.refine_workers
     kwargs.update(alg.options)
     return partitioner(graph, **kwargs)
 
@@ -244,6 +249,9 @@ def _run_partition(spec: JobSpec, graph: BipartiteGraph, report: RunReport) -> N
             "messages": int(metrics.total_messages),
             "remote_bytes": int(metrics.total_remote_bytes),
             "peak_worker_memory": float(metrics.peak_worker_memory()),
+            # Peak transient kernel-buffer bytes (columnar scratch; zero on
+            # the dict path), surfaced alongside the transport meters.
+            "peak_transient_bytes": float(metrics.peak_transient_bytes()),
             # Physical transport meters: zero on in-process backends, real
             # serialized traffic + barrier latency on rpc.
             "wire_bytes": int(metrics.total_wire_bytes),

@@ -230,6 +230,10 @@ class ExecutionSpec:
     ``vertex_mode``, and ``combiner`` apply to engine backends only;
     ``combiner = true`` enables the protocol's message combiner (net-delta
     combining for SHP — fewer bytes, bitwise-identical result).
+    ``refine_workers`` instead parallelizes the *local* shp-2 optimizer's
+    level-fused refinement across shared-memory gain workers; the result
+    stays bitwise-identical to serial per seed (the deterministic-merge
+    invariant — see ``docs/architecture.md``).
 
     The remaining fields configure the rpc backend: ``hosts`` lists
     externally launched ``repro rpc-worker`` endpoints as
@@ -240,6 +244,7 @@ class ExecutionSpec:
 
     backend: str = LOCAL_BACKEND
     workers: int = 4
+    refine_workers: int = 1
     vertex_mode: str = "columnar"
     combiner: bool = False
     hosts: list | None = None
@@ -258,6 +263,11 @@ class ExecutionSpec:
         _check_choice(self.vertex_mode, VERTEX_MODES, f"{p}.vertex_mode")
         if self.workers < 1:
             raise SpecError(f"{p}.workers: must be at least 1, got {self.workers!r}")
+        _check_type(self.refine_workers, int, f"{p}.refine_workers")
+        if self.refine_workers < 1:
+            raise SpecError(
+                f"{p}.refine_workers: must be at least 1, got {self.refine_workers!r}"
+            )
         _check_type(self.combiner, bool, f"{p}.combiner")
         if self.combiner and self.backend == LOCAL_BACKEND:
             raise SpecError(

@@ -108,6 +108,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         execution=ExecutionSpec(
             backend=args.backend,
             workers=args.workers,
+            refine_workers=args.refine_workers,
             vertex_mode=args.vertex_mode,
             combiner=args.combiner,
             hosts=args.hosts or None,
@@ -340,6 +341,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers", type=int, default=4,
         help="cluster worker count for engine backends (default: 4)",
+    )
+    p.add_argument(
+        "--refine-workers", type=int, default=1,
+        help="shared-memory gain workers for the local shp-2 fused "
+        "refinement (--backend local --level-mode fused); assignments "
+        "stay bitwise-identical to serial per seed (default: 1)",
     )
     p.add_argument(
         "--vertex-mode", default="columnar", choices=list(VERTEX_MODES),

@@ -83,6 +83,12 @@ class SHPConfig:
         ``"none"`` | ``"objective"`` | ``"full"`` — per-iteration metric
         recording (``"full"`` adds average fanout per iteration; used by the
         Figure 7 benchmark).
+    refine_workers:
+        Worker processes for the fused refiner's block-parallel gain
+        kernel (:mod:`repro.core.parallel_refine`).  ``1`` (default) stays
+        in-process; higher values split gain computation across cores over
+        shared memory while keeping assignments bitwise-identical per
+        seed — a pure elapsed-time knob.  Ignored by ``level_mode="loop"``.
     """
 
     k: int = 2
@@ -104,6 +110,7 @@ class SHPConfig:
     seed: int = 0
     track_metrics: str = "objective"
     move_penalty: float = 0.0  # incremental repartitioning: gain tax per move
+    refine_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.k < 2:
@@ -129,6 +136,18 @@ class SHPConfig:
         if self.objective not in OBJECTIVES:
             raise ValueError(f"objective must be one of {OBJECTIVES.names()}")
         object.__setattr__(self, "objective", OBJECTIVES.canonical(self.objective))
+        # bool is an int subclass; reject it explicitly like the JobSpec
+        # type checks do (execution.refine_workers mirrors this rule).
+        if isinstance(self.refine_workers, bool) or not isinstance(
+            self.refine_workers, int
+        ):
+            raise ValueError(
+                f"refine_workers must be an integer, got {self.refine_workers!r}"
+            )
+        if self.refine_workers < 1:
+            raise ValueError(
+                f"refine_workers must be at least 1, got {self.refine_workers!r}"
+            )
 
     def with_(self, **kwargs) -> "SHPConfig":
         """Return a copy with the given fields replaced."""

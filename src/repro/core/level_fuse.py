@@ -62,6 +62,12 @@ import numpy as np
 from ..hypergraph.bipartite import BipartiteGraph, csr_row_positions
 from .config import SHPConfig
 from .gains import gain_tables, segment_sums
+from .parallel_refine import (
+    PARALLEL_MIN_RANKS,
+    ParallelGainPool,
+    block_pair_gains,
+    split_ranks_by_edges,
+)
 from .partition import child_capacities
 from .refinement import build_matcher, build_objective, enforce_weighted_caps
 from .result import IterationStats
@@ -180,6 +186,7 @@ def refine_level_fused(
     groups: list[LevelGroup],
     eps_eff: float,
     rng: np.random.Generator,
+    pool: ParallelGainPool | None = None,
 ) -> tuple[list[IterationStats], bool]:
     """Refine every bisection of one recursion level simultaneously.
 
@@ -188,6 +195,13 @@ def refine_level_fused(
     every refinable group's moved fraction dropped below the threshold
     within the iteration budget — the same criterion the per-group loop
     applies individually.
+
+    When ``pool`` is given (``refine_workers > 1``), the gain kernel runs
+    block-parallel in the pool's worker processes over a shared-memory
+    segment published per level; everything order-sensitive (matcher RNG,
+    move application) stays on the master, so assignments and objective
+    trajectories are bitwise-identical to the serial path per seed — see
+    :mod:`repro.core.parallel_refine` for the merge argument.
     """
     history: list[IterationStats] = []
     for group in groups:
@@ -315,31 +329,29 @@ def refine_level_fused(
 
         Layout-specialized twin of :func:`~repro.core.gains.sibling_move_gains`
         (which the unit tests pin against the dense kernel): identical table
-        values and per-rank summation order, so the two agree exactly.
+        values and per-rank summation order, so the two agree exactly.  The
+        full-set fast path skips the position gather; subsets delegate to
+        the shared :func:`~repro.core.parallel_refine.block_pair_gains`
+        kernel the pool workers run, and per-rank values are bitwise-equal
+        on both paths (each rank's segment has identical contents either
+        way — pinned by ``test_parallel_refine``).
         """
-        if ranks.size == n_ranks:
-            positions = None
-            lengths = rank_degrees
-            starts = rank_indptr[:-1]
-            side_edge = np.repeat(rank_side, lengths)
-            base = gm_slot2
-            col_even = gm_col_even
-        else:
-            positions, lengths = csr_row_positions(rank_indptr, ranks)
-            if positions.size == 0:
-                return np.zeros(ranks.size, dtype=np.float64)
-            starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-            side_edge = np.repeat(rank_side[ranks], lengths)
-            base = gm_slot2[positions]
-            col_even = gm_col_even[positions]
-        even = pc[base]
-        total = pc[base + 1]
+        if ranks.size != n_ranks:
+            return block_pair_gains(
+                ranks, rank_indptr, rank_side, pc, gm_slot2, gm_col_even,
+                gm_qw, removal_table, insertion_table,
+            )
+        lengths = rank_degrees
+        starts = rank_indptr[:-1]
+        side_edge = np.repeat(rank_side, lengths)
+        even = pc[gm_slot2]
+        total = pc[gm_slot2 + 1]
         n_cur = np.where(side_edge == 0, even, total - even)
         n_sib = total - n_cur
-        col_cur = col_even + side_edge
+        col_cur = gm_col_even + side_edge
         value = removal_table[n_cur, col_cur] - insertion_table[n_sib, col_cur ^ 1]
         if gm_qw is not None:
-            value = value * (gm_qw if positions is None else gm_qw[positions])
+            value = value * gm_qw
         return segment_sums(value, starts, lengths)
 
     tracker = None
@@ -374,6 +386,34 @@ def refine_level_fused(
     rank_active = np.ones(n_ranks, dtype=bool)
     gain_cache = np.zeros(n_ranks, dtype=np.float64)
     recompute = active_ranks
+
+    # Block-parallel gains: publish the level's kernel arrays to the pool
+    # workers and rebind the mutable run state (counts, sides, gain cache,
+    # work buffer) to writeable views into the shared segment, so the
+    # master's in-place move updates are visible at every gains barrier.
+    # Levels below the dispatch threshold stay serial — same bits either
+    # way, the segment would be pure overhead.
+    shared = None
+    work_buf = None
+    if pool is not None and n_ranks >= PARALLEL_MIN_RANKS:
+        level_arrays = {
+            "rank_indptr": rank_indptr,
+            "gm_slot2": gm_slot2,
+            "gm_col_even": gm_col_even,
+            "removal_table": removal_table,
+            "insertion_table": insertion_table,
+            "pc": pc,
+            "rank_side": rank_side,
+            "gain_cache": gain_cache,
+            "work_buf": np.zeros(n_ranks, dtype=np.int64),
+        }
+        if gm_qw is not None:
+            level_arrays["gm_qw"] = gm_qw
+        shared = pool.publish_level(level_arrays, has_qw=gm_qw is not None)
+        pc = shared["pc"]
+        rank_side = shared["rank_side"]
+        gain_cache = shared["gain_cache"]
+        work_buf = shared["work_buf"]
     sizes = np.bincount(rank_labels, weights=rank_weights, minlength=num_labels)
     if data_weights is None:
         sizes = sizes.astype(np.int64)
@@ -384,7 +424,17 @@ def refine_level_fused(
     )
     for iteration in range(1, config.iterations_per_bisection + 1):
         if recompute.size:
-            gain_cache[recompute] = pair_gains(recompute)
+            if work_buf is not None and recompute.size >= PARALLEL_MIN_RANKS:
+                # Ascending-block dispatch: the sorted dirty set goes into
+                # the shared work buffer, each worker evaluates one
+                # contiguous edge-balanced block and scatters into its own
+                # disjoint slice of gain_cache — the deterministic merge.
+                work_buf[: recompute.size] = recompute
+                pool.compute_gains(
+                    split_ranks_by_edges(recompute, rank_indptr, pool.num_workers)
+                )
+            else:
+                gain_cache[recompute] = pair_gains(recompute)
         gain = gain_cache[active_ranks]
         if config.move_penalty > 0.0:
             gain = gain - config.move_penalty
@@ -477,6 +527,14 @@ def refine_level_fused(
             dirty[members] = True
             dirty &= rank_active
             recompute = np.flatnonzero(dirty)
+
+    if shared is not None:
+        # Drop every master view into the level segment before the pool
+        # unlinks it (live exported buffers keep the mapping alive);
+        # rank_side survives as a copy for the final_side extraction.
+        rank_side = rank_side.copy()
+        pc = gain_cache = work_buf = shared = None
+        pool.drop_level()
 
     for g, group in enumerate(refinable):
         group.final_side = rank_side[block_bounds[g] : block_bounds[g + 1]].astype(

@@ -85,6 +85,30 @@ class SHP2Partitioner:
         all_converged = True
         splits_done = 1
 
+        # Shared-memory gain workers (refine_workers > 1): spawned once
+        # here and reused across every recursion level — each level
+        # publishes one segment to the same pool.  Gains are
+        # bitwise-identical to the serial path, so this is purely an
+        # elapsed-time knob (see repro.core.parallel_refine).
+        pool = None
+        if config.level_mode == "fused" and config.refine_workers > 1:
+            from .parallel_refine import ParallelGainPool
+
+            pool = ParallelGainPool(config.refine_workers)
+        try:
+            return self._partition_levels(
+                graph, config, rng, k, initial, data_weights, total_weight,
+                assignment, groups, levels, all_converged, splits_done,
+                start, pool,
+            )
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _partition_levels(
+        self, graph, config, rng, k, initial, data_weights, total_weight,
+        assignment, groups, levels, all_converged, splits_done, start, pool,
+    ) -> PartitionResult:
         while any(g.span > 1 for g in groups):
             # ε schedule: current splits after this level / final splits.
             splits_after = sum(min(2, g.span) if g.span > 1 else 1 for g in groups)
@@ -110,7 +134,7 @@ class SHP2Partitioner:
             # Phase 2 — refine the whole level.
             if config.level_mode == "fused":
                 level_stats, converged = refine_level_fused(
-                    graph, config, [lg for _, lg in work], eps_eff, rng
+                    graph, config, [lg for _, lg in work], eps_eff, rng, pool=pool
                 )
                 all_converged = all_converged and converged
             else:

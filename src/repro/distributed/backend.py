@@ -97,6 +97,9 @@ class WorkerStepResult:
     #: bytes sent to each *remote* worker (own column is zero).
     remote_row: np.ndarray = field(default_factory=lambda: np.zeros(0))
     state_bytes: int = 0
+    #: peak transient kernel-buffer bytes this superstep (columnar kernels
+    #: report their scratch arrays via ``ctx.charge_transient``).
+    transient_bytes: int = 0
 
 
 def execute_worker_superstep(
@@ -246,6 +249,7 @@ def execute_worker_superstep_batch(
         for dst_worker, sub in batch.split(dst_workers, num_workers).items():
             result.batches.setdefault(dst_worker, []).append(sub)
     result.state_bytes = int(program.partition_nbytes(partition))
+    result.transient_bytes = int(ctx._transient_bytes)
     return result
 
 
@@ -264,6 +268,7 @@ def assemble_superstep_metrics(
     sent_matrix = np.zeros((num_workers, num_workers), dtype=np.float64)
     local_bytes_per_worker = np.zeros(num_workers, dtype=np.float64)
     state_bytes = np.zeros(num_workers, dtype=np.float64)
+    transient_bytes = np.zeros(num_workers, dtype=np.float64)
     active = 0
     for res in results:
         w = res.worker_id
@@ -275,6 +280,7 @@ def assemble_superstep_metrics(
         sent_matrix[w] = res.remote_row
         local_bytes_per_worker[w] = res.bytes_local
         state_bytes[w] = res.state_bytes
+        transient_bytes[w] = res.transient_bytes
         active += res.active
 
     # Remote traffic charges both endpoints (send + receive side).
@@ -293,6 +299,7 @@ def assemble_superstep_metrics(
         remote_bytes_per_worker=remote_bytes_per_worker,
         messages_per_worker=messages_per_worker,
         memory_per_worker=state_bytes + inbound_bytes,
+        transient_bytes_per_worker=transient_bytes,
         active_vertices=active,
     )
 

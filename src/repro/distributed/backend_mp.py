@@ -11,8 +11,9 @@ Layout (mirrors a small Giraph deployment on a single machine):
   :func:`repro.distributed.backend.execute_worker_superstep` every
   superstep, and reports outbound batches + aggregates at the barrier.
 * The immutable graph (bipartite CSR arrays) and the vertex-placement table
-  are published once through ``multiprocessing.shared_memory`` — workers
-  attach zero-copy, read-only views instead of receiving pickled copies.
+  are published once through the shared-memory pool
+  (:mod:`repro.distributed.shared_pool`) — workers attach zero-copy,
+  read-only views instead of receiving pickled copies.
 * Message batches are pickled **once per hop** in the sending worker and
   routed by the master as opaque byte blobs, so the master never
   re-serializes traffic it merely forwards.
@@ -29,7 +30,6 @@ import os
 import pickle
 import time
 import traceback
-from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -39,6 +39,7 @@ from .backend import (
     execute_worker_superstep_batch,
     is_batch_program,
 )
+from .shared_pool import SharedArrayPack, SharedArrayPool
 
 __all__ = ["MultiprocessBackend", "SharedArrayPack", "share_graph", "attach_graph"]
 
@@ -50,90 +51,6 @@ def _default_context() -> str:
     if override:
         return override
     return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-
-
-# ----------------------------------------------------------------------
-# Shared-memory array publishing
-# ----------------------------------------------------------------------
-class SharedArrayPack:
-    """A named set of numpy arrays living in one shared-memory segment.
-
-    The creator copies the arrays in and keeps the segment alive; workers
-    :meth:`attach` read-only views by segment name.  Arrays are frozen
-    (``writeable=False``) on attach — the backend's immutability contract.
-    """
-
-    def __init__(self, shm: shared_memory.SharedMemory, layout: list, owner: bool):
-        self.shm = shm
-        #: list of (name, dtype-str, shape, byte offset)
-        self.layout = layout
-        self.owner = owner
-
-    @classmethod
-    def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayPack":
-        layout = []
-        offset = 0
-        for name, arr in arrays.items():
-            arr = np.ascontiguousarray(arr)
-            layout.append((name, arr.dtype.str, arr.shape, offset))
-            offset += arr.nbytes  # reprolint: disable=REP002 -- integer byte offsets: the stored layout records whatever order is used
-        shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
-        for (name, dtype, shape, off), arr in zip(layout, arrays.values()):
-            nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
-            if nbytes:
-                view = np.ndarray(shape, dtype=dtype, buffer=shm.buf[off : off + nbytes])
-                view[...] = np.ascontiguousarray(arr)
-        return cls(shm, layout, owner=True)
-
-    @property
-    def handle(self) -> tuple:
-        """Picklable (segment name, layout) pair for workers."""
-        return (self.shm.name, self.layout)
-
-    @classmethod
-    def attach(cls, handle: tuple) -> "SharedArrayPack":
-        name, layout = handle
-        return cls(_attach_untracked(name), layout, owner=False)
-
-    def arrays(self) -> dict[str, np.ndarray]:
-        out = {}
-        for name, dtype, shape, off in self.layout:
-            nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
-            arr = np.ndarray(shape, dtype=dtype, buffer=self.shm.buf[off : off + nbytes])
-            arr.flags.writeable = False
-            out[name] = arr
-        return out
-
-    def close(self) -> None:
-        # Views into the buffer must be dropped before close(); callers are
-        # expected to have released them (worker exit / end of run).
-        try:
-            self.shm.close()
-            if self.owner:
-                self.shm.unlink()
-        except (OSError, BufferError):  # pragma: no cover - teardown race
-            pass
-
-
-def _attach_untracked(name: str) -> shared_memory.SharedMemory:
-    """Attach to an existing segment without resource-tracker registration.
-
-    Only the creating master owns (and unlinks) a segment.  Stock
-    ``SharedMemory(name=...)`` also registers attach-only handles, which
-    makes the shared tracker try to clean the same name once per worker and
-    log spurious ``KeyError`` noise (Python < 3.13 has no ``track=False``).
-    """
-    try:  # pragma: no cover - depends on tracker internals
-        from multiprocessing import resource_tracker
-
-        original = resource_tracker.register
-        resource_tracker.register = lambda *args, **kwargs: None
-        try:
-            return shared_memory.SharedMemory(name=name, create=False)
-        finally:
-            resource_tracker.register = original
-    except ImportError:  # pragma: no cover - no tracker on this platform
-        return shared_memory.SharedMemory(name=name, create=False)
 
 
 def share_graph(graph) -> tuple[SharedArrayPack, dict]:
@@ -336,8 +253,9 @@ class MultiprocessBackend(Backend):
         self._workers: list = []
         self._conns: list = []
         self._inboxes: list[list] = []
-        self._placement_pack = None
-        self._graph_pack = None
+        # All shared segments (placement table, graph CSR) live in one
+        # pool so teardown is a single idempotent close().
+        self._pool = SharedArrayPool()
 
     # ------------------------------------------------------------------
     # Backend hooks (the shared superstep driver lives in Backend.run)
@@ -356,16 +274,16 @@ class MultiprocessBackend(Backend):
         ids = np.fromiter(engine._worker_of.keys(), dtype=np.int64)
         assignment = np.fromiter(engine._worker_of.values(), dtype=np.int64)
         order = np.argsort(ids, kind="stable")
-        self._placement_pack = SharedArrayPack.create(
-            {"ids": ids[order], "placement": assignment[order]}
+        placement_handle = self._pool.publish(
+            "placement", {"ids": ids[order], "placement": assignment[order]}
         )
 
-        self._graph_pack = None
         graph_handle = None
         graph_meta = None
         if engine._graph is not None:
-            self._graph_pack, graph_meta = share_graph(engine._graph)
-            graph_handle = self._graph_pack.handle
+            graph_pack, graph_meta = share_graph(engine._graph)
+            self._pool.adopt("graph", graph_pack)
+            graph_handle = graph_pack.handle
 
         self._workers = []
         self._conns = []
@@ -381,7 +299,7 @@ class MultiprocessBackend(Backend):
                 "num_workers": num_workers,
                 "combiner": combiner,
                 "batch": batch_mode,
-                "placement_handle": self._placement_pack.handle,
+                "placement_handle": placement_handle,
                 "graph_handle": graph_handle,
                 "graph_meta": graph_meta,
             }
@@ -438,12 +356,7 @@ class MultiprocessBackend(Backend):
             conn.close()
         self._workers = []
         self._conns = []
-        if self._placement_pack is not None:
-            self._placement_pack.close()
-            self._placement_pack = None
-        if self._graph_pack is not None:
-            self._graph_pack.close()
-            self._graph_pack = None
+        self._pool.close()
         self._engine = None
 
     # ------------------------------------------------------------------

@@ -244,6 +244,7 @@ class BatchContext:
     seed: int = 0
     _ops: float = 0.0
     _active: int = 0
+    _transient_bytes: int = 0
     _outbox: list = field(default_factory=list, repr=False)
     _aggregates: dict = field(default_factory=dict, repr=False)
 
@@ -266,6 +267,18 @@ class BatchContext:
     def add_active(self, count: int) -> None:
         """Report ``count`` vertices as active this superstep."""
         self._active += int(count)
+
+    def charge_transient(self, nbytes: int) -> None:
+        """Report ``nbytes`` of transient kernel working buffers.
+
+        Kernels report the footprint of the scratch arrays a call
+        materializes (joins, entry expansions, candidate grids); the
+        superstep keeps the per-worker **peak** across kernel calls, which
+        surfaces in manifests as ``peak_transient_bytes`` alongside the
+        resident ``memory_per_worker`` accounting.  The charge is a pure
+        function of array sizes, so it is identical across backends.
+        """
+        self._transient_bytes = max(self._transient_bytes, int(nbytes))
 
     def random(self, vids: np.ndarray, draw: int = 0) -> np.ndarray:
         """Counter-based uniform draws for an array of vertex ids."""

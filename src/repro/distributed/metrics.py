@@ -43,6 +43,13 @@ class SuperstepMetrics:
     remote_bytes_per_worker: np.ndarray = field(default_factory=lambda: np.zeros(0))
     messages_per_worker: np.ndarray = field(default_factory=lambda: np.zeros(0))
     memory_per_worker: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: peak transient kernel-buffer bytes per worker this superstep —
+    #: scratch arrays a columnar kernel materializes and frees within one
+    #: call (joins, entry expansions, candidate grids), reported via
+    #: ``ctx.charge_transient``.  A logical meter: pure function of array
+    #: sizes, identical across backends; the dict path reports zero (its
+    #: per-vertex scratch is a few Python scalars).
+    transient_bytes_per_worker: np.ndarray = field(default_factory=lambda: np.zeros(0))
     active_vertices: int = 0
     #: real serialized bytes this superstep moved over backend transport
     #: (frames sent + received by the master); zero on in-process backends.
@@ -108,6 +115,20 @@ class JobMetrics:
             float(s.memory_per_worker.max())
             for s in self.supersteps
             if s.memory_per_worker.size
+        ]
+        return max(peaks) if peaks else 0.0
+
+    def peak_transient_bytes(self) -> float:
+        """High-water mark of transient kernel scratch across all workers.
+
+        Complements :meth:`peak_worker_memory` (resident state) with the
+        short-lived buffers columnar kernels allocate per call; surfaced in
+        run manifests alongside ``wire_bytes``.
+        """
+        peaks = [
+            float(s.transient_bytes_per_worker.max())
+            for s in self.supersteps
+            if s.transient_bytes_per_worker.size
         ]
         return max(peaks) if peaks else 0.0
 

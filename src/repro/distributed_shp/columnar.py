@@ -42,6 +42,13 @@ from .schemas import DELTA_SCHEMA, NDATA_SCHEMA, NET_DELTA_SCHEMA
 
 __all__ = ["SHPColumnarProgram"]
 
+#: Mode-"k" S3 keeps the dense ``nloc × level_k`` candidate grid up to this
+#: many buckets; beyond it the sparse pair-compact aggregation
+#: (:func:`repro.objectives.evaluate.compact_cell_sums`) takes over.  The
+#: two are bitwise-equal per cell — the threshold trades allocation size
+#: only, never bits (pinned by ``test_parallel_refine``'s k=16 parity).
+DENSE_S3_MAX_LEVEL_K = 8
+
 
 class _Partition:
     """One worker's struct-of-arrays state (built by ``create_partition``)."""
@@ -358,6 +365,11 @@ class SHPColumnarProgram:
             sums = np.add.reduceat(ac, starts)
             keep = sums > 0
             kq, kb, kc = aq[starts][keep], ab[starts][keep], sums[keep]
+            # Transient-buffer meter: the concatenated rebuild scratch is
+            # this kernel's allocation peak (released on return).
+            ctx.charge_transient(
+                3 * all_q.nbytes + order.nbytes + first.nbytes + sums.nbytes
+            )
         else:
             kq = np.empty(0, dtype=np.int64)
             kb = np.empty(0, dtype=np.int64)
@@ -441,28 +453,58 @@ class SHPColumnarProgram:
         weight_sum = np.bincount(f_d, weights=w_e, minlength=nloc)
 
         other = ~match
-        cells = f_d[ent_edge[other]] * level_k + ent_b[other]
-        terms = w_e[ent_edge[other]] * (ins_t[ent_c[other]] - ins0)
-        sums = np.bincount(cells, weights=terms, minlength=nloc * level_k)
-        sums = sums.reshape(nloc, level_k)
-        present = np.zeros(nloc * level_k, dtype=bool)
-        present[cells] = True
-        present = present.reshape(nloc, level_k)
-
-        rows = np.arange(nloc)
+        # Transient-buffer meter: the join scratch above is the kernel's
+        # allocation high-water mark (freed before the superstep returns);
+        # selection-path scratch is added per branch below.
+        join_bytes = (
+            edge_d.nbytes
+            + crow.nbytes
+            + f_d.nbytes
+            + f_row.nbytes
+            + w_e.nbytes
+            + row_len.nbytes
+            + positions.nbytes
+            + ent_edge.nbytes
+            + ent_b.nbytes
+            + ent_c.nbytes
+            + count_here.nbytes
+        )
         if self.mode == "2":
+            # Level-fused composite labels: a bucket id at a synchronous
+            # descent level encodes the ``(group, side)`` pair as
+            # ``2·group + side``, so the only legal destination is the
+            # sibling column ``bucket ^ 1`` of the vertex's own group.
+            # Aggregating *only* sibling entries keeps memory at O(occupied
+            # pairs) — the dense ``nloc × level_k`` grid never exists —
+            # and is bitwise-equal to both the dense column and the dict
+            # path's ``adjust.get(sibling)``: the filtered subsequence
+            # preserves the (data vertex, ascending query) add order.
             sibling = part.bucket ^ 1
+            sib = other & (ent_b == (bucket_e ^ 1)[ent_edge])
+            rows_sib = f_d[ent_edge[sib]]
+            terms = w_e[ent_edge[sib]] * (ins_t[ent_c[sib]] - ins0)
+            adjust = np.bincount(rows_sib, weights=terms, minlength=nloc)
+            occupied = np.bincount(rows_sib, minlength=nloc) > 0
             best_bucket = sibling
-            best_adjust = np.where(present[rows, sibling], sums[rows, sibling], 0.0)
+            best_adjust = np.where(occupied, adjust, 0.0)
+            select_bytes = (
+                sib.nbytes + rows_sib.nbytes + terms.nbytes + adjust.nbytes
+            )
         else:
-            candidates = np.where(present, sums, np.inf)
-            candidates[rows, part.bucket] = np.inf
-            minval = candidates.min(axis=1)
-            fallback = (part.bucket + 1) % level_k
-            fallback_adj = np.where(present[rows, fallback], sums[rows, fallback], 0.0)
-            use_min = minval < 0.0
-            best_bucket = np.where(use_min, candidates.argmin(axis=1), fallback)
-            best_adjust = np.where(use_min, np.where(np.isfinite(minval), minval, 0.0), fallback_adj)
+            cells = f_d[ent_edge[other]] * level_k + ent_b[other]
+            terms = w_e[ent_edge[other]] * (ins_t[ent_c[other]] - ins0)
+            select_bytes = cells.nbytes + terms.nbytes
+            if level_k <= DENSE_S3_MAX_LEVEL_K:
+                # Dense grid: float64 sums + bool present, nloc × level_k each.
+                select_bytes += nloc * level_k * 9
+                best_bucket, best_adjust = self._select_dense(
+                    part, nloc, level_k, cells, terms
+                )
+            else:
+                best_bucket, best_adjust = self._select_sparse(
+                    part, nloc, level_k, cells, terms
+                )
+        ctx.charge_transient(join_bytes + select_bytes)
 
         gain = rsum - (weight_sum * ins0 + best_adjust)
         if cfg.move_penalty > 0.0:
@@ -491,6 +533,66 @@ class SHPColumnarProgram:
         # calls per data vertex.
         ctx.charge(float(row_len.sum()) + 2.0 * nloc)
         ctx.add_active(nloc)
+
+    @staticmethod
+    def _select_dense(part: _Partition, nloc: int, level_k: int, cells, terms):
+        """Mode-"k" destination pick over the dense candidate grid."""
+        sums = np.bincount(cells, weights=terms, minlength=nloc * level_k)
+        sums = sums.reshape(nloc, level_k)
+        present = np.zeros(nloc * level_k, dtype=bool)
+        present[cells] = True
+        present = present.reshape(nloc, level_k)
+        rows = np.arange(nloc)
+        candidates = np.where(present, sums, np.inf)
+        candidates[rows, part.bucket] = np.inf
+        minval = candidates.min(axis=1)
+        fallback = (part.bucket + 1) % level_k
+        fallback_adj = np.where(present[rows, fallback], sums[rows, fallback], 0.0)
+        use_min = minval < 0.0
+        best_bucket = np.where(use_min, candidates.argmin(axis=1), fallback)
+        best_adjust = np.where(
+            use_min, np.where(np.isfinite(minval), minval, 0.0), fallback_adj
+        )
+        return best_bucket, best_adjust
+
+    @staticmethod
+    def _select_sparse(part: _Partition, nloc: int, level_k: int, cells, terms):
+        """Mode-"k" destination pick over occupied cells only (large k).
+
+        Bitwise-equal to :meth:`_select_dense`: per-cell sums come from the
+        pair-compact contract (same sequential add order), the per-row
+        minimum is an order-insensitive exact selection, and ties resolve
+        to the lowest bucket — exactly ``argmin``'s first-hit scan.
+        """
+        from ..objectives.evaluate import compact_cell_sums
+
+        occupied, cell_sums = compact_cell_sums(cells, terms)
+        rows_u = occupied // level_k
+        b_u = occupied % level_k
+        cand = b_u != part.bucket[rows_u]  # dense path masks the own column
+        c_rows = rows_u[cand]
+        c_b = b_u[cand]
+        c_sums = cell_sums[cand]
+        minval = np.full(nloc, np.inf)
+        np.minimum.at(minval, c_rows, c_sums)
+        is_min = c_sums == minval[c_rows]
+        best_b = np.full(nloc, level_k, dtype=np.int64)
+        np.minimum.at(best_b, c_rows[is_min], c_b[is_min])
+        fallback = (part.bucket + 1) % level_k
+        fb_cells = np.arange(nloc, dtype=np.int64) * level_k + fallback
+        fallback_adj = np.zeros(nloc, dtype=np.float64)
+        if occupied.size:
+            fb_idx = np.minimum(
+                np.searchsorted(occupied, fb_cells), occupied.size - 1
+            )
+            fb_present = occupied[fb_idx] == fb_cells
+            fallback_adj = np.where(fb_present, cell_sums[fb_idx], 0.0)
+        use_min = minval < 0.0
+        best_bucket = np.where(use_min, best_b, fallback)
+        best_adjust = np.where(
+            use_min, np.where(np.isfinite(minval), minval, 0.0), fallback_adj
+        )
+        return best_bucket, best_adjust
 
     def _update_cache(self, part: _Partition, inbox: list) -> None:
         """Fold inbound S2 broadcasts into the worker's query-row cache.

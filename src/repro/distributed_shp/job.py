@@ -182,6 +182,13 @@ class _SHPVertexProgram:
         rsum = 0.0
         weight_sum = 0.0
         adjust: dict[int, float] = {}
+        # Mode "2" runs on composite (group, side) level-fused labels —
+        # bucket ``2·group + side`` — so the only reachable destination is
+        # the sibling column ``bucket ^ 1``; accumulating just that term
+        # keeps the adjust state at one scalar per vertex regardless of
+        # how deep the level is (the whole level refines in one superstep
+        # wave).  Same floats in the same order as the unrestricted fold.
+        sibling = bucket ^ 1 if self.mode == "2" else None
         # Canonical ascending-query-id iteration: float accumulation order
         # is part of the wire contract with the columnar mode, whose
         # kernels sum in exactly this order (bitwise-identical gains).
@@ -190,16 +197,21 @@ class _SHPVertexProgram:
             weight_sum += weight
             count_here = neighbor_data.get(bucket, 1)
             rsum += weight * rem(count_here)
-            for other_bucket, count in sorted(neighbor_data.items()):
-                if other_bucket != bucket:
-                    adjust[other_bucket] = adjust.get(other_bucket, 0.0) + weight * (
+            if sibling is not None:
+                count = neighbor_data.get(sibling)
+                if count is not None:
+                    adjust[sibling] = adjust.get(sibling, 0.0) + weight * (
                         ins(count) - ins0
                     )
+            else:
+                for other_bucket, count in sorted(neighbor_data.items()):
+                    if other_bucket != bucket:
+                        adjust[other_bucket] = adjust.get(other_bucket, 0.0) + weight * (
+                            ins(count) - ins0
+                        )
         ctx.charge(sum(len(nd) for _, nd in qdata.values()))  # reprolint: disable=REP002 -- integer edge counts: int sums are order-exact
 
-        if self.mode == "2":
-            # Only the sibling bucket is reachable at this level.
-            sibling = bucket ^ 1
+        if sibling is not None:
             best_bucket = sibling
             best_adjust = adjust.get(sibling, 0.0)
         else:

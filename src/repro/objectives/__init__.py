@@ -11,6 +11,7 @@ from .evaluate import (
     average_fanout,
     average_pfanout,
     bucket_counts,
+    compact_cell_sums,
     evaluate_partition,
     grouped_bucket_counts,
     hyperedge_cut,
@@ -30,6 +31,7 @@ __all__ = [
     "get_objective",
     "bucket_counts",
     "grouped_bucket_counts",
+    "compact_cell_sums",
     "update_bucket_counts",
     "objective_value",
     "average_fanout",

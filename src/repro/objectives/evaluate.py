@@ -17,6 +17,7 @@ from ..hypergraph.bipartite import BipartiteGraph, GraphValidationError, csr_row
 __all__ = [
     "bucket_counts",
     "grouped_bucket_counts",
+    "compact_cell_sums",
     "update_bucket_counts",
     "objective_value",
     "average_fanout",
@@ -60,6 +61,36 @@ def grouped_bucket_counts(
     (query, group) slots; the parity tests pin the two against each other.
     """
     return bucket_counts(graph, labels, num_labels)
+
+
+def compact_cell_sums(
+    cells: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sparse per-cell float sums: the pair-compact aggregation contract.
+
+    Returns ``(occupied_cells, sums)`` with ``occupied_cells`` ascending —
+    the sparse equivalent of ``np.bincount(cells, weights).reshape(...)``
+    for composite ``row · k + column`` keys, with memory bounded by the
+    number of *occupied* cells instead of the dense ``rows × k`` grid.
+    Distributed S3 gain aggregation uses this for large ``level_k``
+    (:mod:`repro.distributed_shp.columnar`).
+
+    Bitwise contract: each cell's sum equals the dense bincount's bit for
+    bit.  The stable sort keeps equal cells in input order and the
+    bincount over compacted ids adds each cell's entries sequentially
+    left-to-right — exactly the accumulation order of the dense path
+    (and of the dict path's sorted-neighbor iteration).
+    """
+    if cells.size == 0:
+        return cells.astype(np.int64), np.zeros(0, dtype=np.float64)
+    order = np.argsort(cells, kind="stable")
+    sorted_cells = cells[order]
+    first = np.empty(sorted_cells.size, dtype=bool)
+    first[0] = True
+    first[1:] = sorted_cells[1:] != sorted_cells[:-1]
+    compact = np.cumsum(first) - 1
+    sums = np.bincount(compact, weights=weights[order])
+    return sorted_cells[first].astype(np.int64), sums
 
 
 def update_bucket_counts(
