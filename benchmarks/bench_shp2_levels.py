@@ -152,6 +152,44 @@ def test_shp2_parallel_refinement(benchmark):
         )
 
 
+def test_sanitizer_instrumentation_compiled_out():
+    """The reprosan overhead guard: sanitizer-off runs carry zero probes.
+
+    The runtime sanitizer's hot-path hooks are a single ``current() is
+    None`` branch; everything else — bounds validation, worker echoes,
+    barrier interval checks — must be unreachable when it is off.  The
+    probe counters make that checkable: a sanitizer-off parallel run may
+    not advance them at all.  The sanitized re-run then proves the guard
+    is not vacuous (dispatches really crossed the pool) and that
+    instrumentation never changes the bits.
+    """
+    from repro.analysis import sanitizers
+
+    graph = darwini_bipartite(4000, avg_degree=12, clustering=0.4, seed=41)
+    assert sanitizers.current() is None, "REPRO_SAN leaked into the bench env"
+    before = sanitizers.probe_counts()
+    off = shp_2(
+        graph, 8, seed=42, epsilon=EPSILON, level_mode="fused",
+        iterations_per_bisection=20, refine_workers=2,
+    )
+    assert sanitizers.probe_counts() == before, (
+        "sanitizer-off run advanced instrumentation probes: the default "
+        "path is no longer zero-overhead"
+    )
+    with sanitizers.sanitized(strict=True):
+        on = shp_2(
+            graph, 8, seed=42, epsilon=EPSILON, level_mode="fused",
+            iterations_per_bisection=20, refine_workers=2,
+        )
+    advanced = sanitizers.probe_counts()["gain_dispatch"]
+    assert advanced > before["gain_dispatch"], (
+        "overhead guard is vacuous: no gain dispatch crossed the pool"
+    )
+    assert np.array_equal(off.assignment, on.assignment), (
+        "sanitizer instrumentation changed the bits"
+    )
+
+
 def test_shp2_level_fusion(benchmark):
     rows = benchmark.pedantic(_run_levels, rounds=1, iterations=1)
     display = [{k: v for k, v in row.items() if not k.startswith("_")} for row in rows]

@@ -7,6 +7,16 @@ loader module).  One module per rule, named after its code.
 
 from __future__ import annotations
 
-from . import rep001, rep002, rep003, rep004, rep005, rep006
+from . import rep001, rep002, rep003, rep004, rep005, rep006, rep007, rep008, rep009
 
-__all__ = ["rep001", "rep002", "rep003", "rep004", "rep005", "rep006"]
+__all__ = [
+    "rep001",
+    "rep002",
+    "rep003",
+    "rep004",
+    "rep005",
+    "rep006",
+    "rep007",
+    "rep008",
+    "rep009",
+]

@@ -1,0 +1,126 @@
+"""REP009 frame-api-misuse: use the framed wire API the way it meters.
+
+:mod:`repro.distributed.wire` has two contracts its callers must uphold:
+
+* **Metering** — every helper returns the bytes it moved, and the RPC
+  backend's ``SuperstepMetrics.wire_bytes`` is the sum of those returns.
+  A call whose byte count is discarded (a bare expression statement, or a
+  result bound to ``_``) silently under-reports real traffic: the meter
+  stays plausible and nothing crashes, the numbers are just wrong.
+* **Framing** — a socket that has carried one framed message must carry
+  *only* framed messages.  Raw ``send``/``recv`` interleaved on the same
+  socket injects unframed bytes into the stream; the next
+  ``recv_frame`` reads them as a header and dies with
+  ``FrameProtocolError`` (best case) or mis-sizes the payload (worst).
+
+This check flags both: discarded byte counts at wire-helper call sites,
+and raw socket operations (``send``/``sendall``/``recv``/``recv_into``)
+on any object that is elsewhere passed to a wire helper in the same
+file.  ``distributed/wire.py`` itself is exempt — it is the one place
+raw socket I/O on framed connections is the implementation.
+
+Worker-side code that intentionally doesn't meter (the master meters on
+receipt) should carry an explicit waiver, not silence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import LINT_CHECKS, Check, FileContext, Finding, dotted_name
+
+_WIRE_FNS = {"send_frame", "recv_frame", "send_obj", "recv_obj"}
+_RAW_OPS = {"send", "sendall", "recv", "recv_into"}
+
+
+def _wire_call(node: ast.AST) -> str | None:
+    """Wire-helper name if ``node`` is a call into the framed API."""
+    if not isinstance(node, ast.Call):
+        return None
+    if isinstance(node.func, ast.Name) and node.func.id in _WIRE_FNS:
+        return node.func.id
+    if isinstance(node.func, ast.Attribute) and node.func.attr in _WIRE_FNS:
+        return node.func.attr
+    return None
+
+
+def _is_discard(target: ast.AST) -> bool:
+    return isinstance(target, ast.Name) and target.id == "_"
+
+
+@LINT_CHECKS.register(
+    "REP009",
+    aliases=("frame-api-misuse",),
+    doc="wire byte counts consumed; no raw socket I/O on framed connections",
+)
+class FrameApiMisuse(Check):
+    code = "REP009"
+    name = "frame-api-misuse"
+    severity = "error"
+    scope = ("distributed/",)
+
+    def run(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.pkg_rel == "distributed/wire.py":
+            return []
+        assert ctx.tree is not None
+        findings: list[Finding] = []
+
+        # Pass 1: which dotted names are framed connections here?  Any
+        # object handed to a wire helper as its socket argument.
+        framed: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if _wire_call(node) is not None and node.args:  # type: ignore[union-attr]
+                name = dotted_name(node.args[0])  # type: ignore[union-attr]
+                if name is not None:
+                    framed.add(name)
+
+        for node in ast.walk(ctx.tree):
+            # Discarded byte counts: a wire call as a bare statement.
+            if isinstance(node, ast.Expr):
+                fn = _wire_call(node.value)
+                if fn is not None:
+                    findings.append(ctx.finding(self, node, (
+                        f"{fn}() byte count discarded — wire helpers return "
+                        "bytes moved so callers can meter real traffic "
+                        "(SuperstepMetrics.wire_bytes); accumulate the "
+                        "return value or waive with the reason metering "
+                        "happens elsewhere"
+                    )))
+                continue
+            # ... or a result explicitly bound to ``_``.
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                fn = _wire_call(node.value)
+                if fn is None:
+                    continue
+                target = node.targets[0]
+                if _is_discard(target):
+                    findings.append(ctx.finding(self, node, (
+                        f"{fn}() result bound to '_' — the byte count is "
+                        "part of the metering contract, not an ignorable "
+                        "second return"
+                    )))
+                elif isinstance(target, ast.Tuple) and any(
+                    _is_discard(elt) for elt in target.elts
+                ):
+                    findings.append(ctx.finding(self, node, (
+                        f"{fn}() byte count unpacked into '_' — thread it "
+                        "into the caller's wire meter or waive with the "
+                        "reason it is metered elsewhere"
+                    )))
+                continue
+            # Raw socket I/O on a connection that also carries frames.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RAW_OPS
+            ):
+                base = dotted_name(node.func.value)
+                if base is not None and base in framed:
+                    findings.append(ctx.finding(self, node, (
+                        f"raw socket .{node.func.attr}() on framed "
+                        f"connection {base!r} — unframed bytes interleaved "
+                        "with frames corrupt the stream for every later "
+                        "recv_frame()"
+                    )))
+        return findings

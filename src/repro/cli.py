@@ -78,12 +78,27 @@ def _file_graph_spec(path: str) -> GraphSpec:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     """Execute one or more declarative job-spec files."""
+    if args.sanitize:
+        from .analysis import sanitizers
+
+        sanitizers.enable(strict=True)
     for spec_path in args.spec:
         try:
             spec = JobSpec.from_file(spec_path, overrides=args.overrides)
         except SpecError as exc:
             raise SystemExit(f"error: {spec_path}: {exc}") from exc
-        report = _api_run(spec, smoke=args.smoke)
+        try:
+            report = _api_run(spec, smoke=args.smoke)
+        except Exception as exc:
+            if args.sanitize:
+                from .analysis import sanitizers
+
+                san_report = sanitizers.sanitizer_report()
+                if san_report.findings:
+                    print(san_report.render_human())
+                    if isinstance(exc, sanitizers.SanitizerError):
+                        return san_report.exit_code or 1
+            raise
         print(format_table(report.rows, title=report.title()))
         if spec.output.assignment:
             print(f"assignment written to {spec.output.assignment}")
@@ -241,12 +256,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     from .analysis import lint_paths
 
+    if args.san:
+        # Non-strict: collect runtime findings instead of raising, then
+        # fold them into the static report below.
+        from .analysis import sanitizers
+
+        sanitizers.enable(strict=False)
     paths = args.paths or ["src"]
     try:
         report = lint_paths(paths, select=args.select, ignore=args.ignore)
     except (FileNotFoundError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
         raise SystemExit(f"error: {message}") from exc
+    if args.san:
+        report = sanitizers.merge_runtime_findings(report)
     if args.format == "json":
         print(_json.dumps(report.to_json(), indent=2))
     else:
@@ -320,6 +343,11 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument(
         "--smoke", action="store_true",
         help="shrink the job for CI smoke runs (same code paths, tiny budgets)",
+    )
+    r.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the runtime sanitizer (shared-write disjointness + wire "
+        "state machine; equivalent to REPRO_SAN=1) and fail on violations",
     )
     r.set_defaults(func=_cmd_run)
 
@@ -446,6 +474,11 @@ def build_parser() -> argparse.ArgumentParser:
     li.add_argument(
         "--show-suppressed", action="store_true",
         help="also list suppressed findings with their reasons",
+    )
+    li.add_argument(
+        "--san", action="store_true",
+        help="also enable the runtime sanitizer and fold any runtime "
+        "violations collected in this process into the report",
     )
     li.set_defaults(func=_cmd_lint)
 

@@ -53,6 +53,19 @@ __all__ = ["ParallelGainPool", "block_pair_gains", "split_ranks_by_edges"]
 PARALLEL_MIN_RANKS = 1024
 
 
+def _sanitizer():
+    """Active runtime sanitizer, or ``None`` (the default, zero-cost path).
+
+    Imported lazily: ``repro.analysis`` pulls in the registry/api layer,
+    which transitively imports this module — a top-level import would be
+    a cycle.  With ``REPRO_SAN`` off this is one cached module lookup and
+    a ``None`` return per barrier, nothing per rank.
+    """
+    from ..analysis.sanitizers import current
+
+    return current()
+
+
 def block_pair_gains(
     ranks: np.ndarray,
     rank_indptr: np.ndarray,
@@ -148,7 +161,15 @@ def _gain_worker_main(worker_id: int, conn) -> None:
                 # The deterministic merge: each worker scatters into its
                 # own ascending, disjoint slice of the shared gain cache.
                 views["gain_cache"][ranks] = gains
-                conn.send(("done",))
+                san = _sanitizer()
+                if san is None:
+                    conn.send(("done",))
+                else:
+                    # Echo the interval this block actually wrote so the
+                    # master can check disjointness at the merge barrier.
+                    from ..analysis.sanitizers import worker_echo
+
+                    conn.send(("done", worker_echo(lo, hi, ranks)))
             elif kind == "drop":
                 # Release views before closing: a live exported buffer
                 # would keep the worker's mapping (and segment) alive.
@@ -205,6 +226,7 @@ class ParallelGainPool:
         self.step_timeout = step_timeout
         self._pool = SharedArrayPool()
         self._level_loaded = False
+        self._failed = False
         ctx = mp.get_context(mp_context or _default_context())
         self._workers = []
         self._conns = []
@@ -234,11 +256,12 @@ class ParallelGainPool:
         """
         if self._level_loaded:
             raise RuntimeError("previous level still loaded; call drop_level first")
+        self._check_usable()
         handle = self._pool.publish("level", arrays)
         self._level_loaded = True
         meta = {"has_qw": has_qw}
-        for conn in self._conns:
-            conn.send(("level", handle, meta))
+        for worker_id, conn in enumerate(self._conns):
+            self._send(conn, worker_id, ("level", handle, meta))
         for worker_id, conn in enumerate(self._conns):
             self._recv(conn, worker_id)
         return self._pool.arrays("level", writeable=True)
@@ -251,25 +274,42 @@ class ParallelGainPool:
         """
         if not self._level_loaded:
             raise RuntimeError("no level loaded")
+        self._check_usable()
+        san = _sanitizer()
+        if san is not None:
+            san.gain_dispatch(bounds)
         for worker_id, conn in enumerate(self._conns):
-            conn.send(("gains", int(bounds[worker_id]), int(bounds[worker_id + 1])))
+            self._send(conn, worker_id, ("gains", int(bounds[worker_id]), int(bounds[worker_id + 1])))
+        echoes: list | None = [] if san is not None else None
         for worker_id, conn in enumerate(self._conns):
-            self._recv(conn, worker_id)
+            msg = self._recv(conn, worker_id)
+            if echoes is not None:
+                echoes.append(msg[1] if len(msg) > 1 else None)
+        if san is not None:
+            san.gain_barrier(bounds, echoes or [])
 
     def drop_level(self) -> None:
         """Detach workers from the level segment and unlink it (idempotent).
 
         The caller must have dropped its own views first — an exported
         buffer would keep the mapping alive and leak the segment.
+
+        After a worker failure the round trip is skipped (the protocol is
+        no longer in step) and the master just releases the segment, so
+        error-path callers can always reclaim the shared memory.
         """
         if not self._level_loaded:
             return
-        for conn in self._conns:
-            conn.send(("drop",))
-        for worker_id, conn in enumerate(self._conns):
-            self._recv(conn, worker_id)
-        self._pool.release("level")
-        self._level_loaded = False
+        try:
+            if not self._failed:
+                for worker_id, conn in enumerate(self._conns):
+                    self._send(conn, worker_id, ("drop",))
+                for worker_id, conn in enumerate(self._conns):
+                    self._recv(conn, worker_id)
+        finally:
+            # Reclaim the segment even when a worker died mid-drop.
+            self._pool.release("level")
+            self._level_loaded = False
 
     def close(self) -> None:
         for conn in self._conns:
@@ -296,23 +336,59 @@ class ParallelGainPool:
         self.close()
 
     # ------------------------------------------------------------------
+    def _check_usable(self) -> None:
+        if self._failed:
+            raise RuntimeError(
+                "refine pool is unusable after an earlier worker failure; "
+                "close() it and partition with refine_workers=1 (serial) "
+                "or a fresh pool"
+            )
+
+    def _send(self, conn, worker_id: int, msg: tuple) -> None:
+        """Send one dispatch, translating a dead worker's pipe into a
+        clear error (and poisoning the pool: the barrier protocol is out
+        of step once any dispatch fails to land)."""
+        try:
+            conn.send(msg)
+        except (OSError, ValueError) as exc:
+            self._failed = True
+            proc = self._workers[worker_id]
+            proc.join(timeout=1)
+            raise RuntimeError(
+                f"refine worker {worker_id} is gone "
+                f"(exitcode {proc.exitcode}); dispatch {msg[0]!r} failed: {exc}"
+            ) from exc
+
     def _recv(self, conn, worker_id: int):
         """Receive one barrier message, surfacing worker death or errors."""
         proc = self._workers[worker_id]
         deadline = time.monotonic() + self.step_timeout  # reprolint: disable=REP006 -- barrier hang guard, not kernel math: no computed value depends on the clock
         while not conn.poll(0.05):
             if not proc.is_alive():
+                self._failed = True
                 raise RuntimeError(
                     f"refine worker {worker_id} exited unexpectedly "
                     f"(exitcode {proc.exitcode})"
                 )
             if time.monotonic() > deadline:  # pragma: no cover - hang guard  # reprolint: disable=REP006 -- barrier hang guard, not kernel math: no computed value depends on the clock
+                self._failed = True
                 raise TimeoutError(
                     f"refine worker {worker_id} missed the gains barrier "
                     f"({self.step_timeout:.0f}s)"
                 )
-        msg = conn.recv()
+        try:
+            msg = conn.recv()
+        except (EOFError, ConnectionResetError, OSError) as exc:
+            # poll() returns True for EOF too: a SIGKILLed worker's
+            # half-closed pipe reads as "readable" and then fails here.
+            self._failed = True
+            proc.join(timeout=1)
+            raise RuntimeError(
+                f"refine worker {worker_id} died mid-dispatch "
+                f"(exitcode {proc.exitcode}): {exc!r}"
+            ) from exc
         if msg[0] == "error":
             _, exc, tb = msg
+            self._failed = True
             raise exc from RuntimeError(f"refine worker {worker_id} failed:\n{tb}")
         return msg

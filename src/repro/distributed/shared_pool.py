@@ -43,6 +43,7 @@ class SharedArrayPack:
         #: list of (name, dtype-str, shape, byte offset)
         self.layout = layout
         self.owner = owner
+        self.closed = False
 
     @classmethod
     def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayPack":
@@ -71,6 +72,11 @@ class SharedArrayPack:
         return cls(_attach_untracked(name), layout, owner=False)
 
     def arrays(self, writeable: bool = False) -> dict[str, np.ndarray]:
+        if self.closed:
+            raise RuntimeError(
+                "shared pack is closed; views into an unmapped segment "
+                "would be dangling"
+            )
         out = {}
         for name, dtype, shape, off in self.layout:
             nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
@@ -81,6 +87,12 @@ class SharedArrayPack:
         return out
 
     def close(self) -> None:
+        # Idempotent: error-path callers (drop_level after a worker death,
+        # pool teardown after partial publish) may close the same pack
+        # more than once.
+        if self.closed:
+            return
+        self.closed = True
         # The owner unlinks *before* closing: a still-exported numpy view
         # makes close() raise BufferError, and unlinking first guarantees
         # the name is gone either way (POSIX keeps the mapping valid until

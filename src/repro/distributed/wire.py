@@ -24,6 +24,10 @@ from __future__ import annotations
 import pickle
 import socket
 import struct
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.sanitizers import Sanitizer
 
 __all__ = [
     "WireError",
@@ -100,13 +104,32 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(parts)
 
 
+def _sanitizer() -> "Sanitizer | None":
+    """The active runtime sanitizer, or ``None`` (the default path).
+
+    Imported lazily so the wire module never drags the analysis framework
+    into its import graph; when ``REPRO_SAN`` is off this is one cached
+    module lookup and a ``None`` return per frame.
+    """
+    from ..analysis.sanitizers import current
+
+    return current()
+
+
 def send_frame(sock: socket.socket, payload: bytes) -> int:
     """Send one framed payload; returns total bytes written."""
     frame = encode_frame(payload)
+    san = _sanitizer()
+    if san is not None:
+        san.frame_begin(sock, "send")
     try:
         sock.sendall(frame)
     except OSError as exc:
+        if san is not None:
+            san.frame_break(sock)
         raise WireError(f"send failed: {exc}") from exc
+    if san is not None:
+        san.frame_end(sock)
     return len(frame)
 
 
@@ -118,9 +141,19 @@ def recv_frame(sock: socket.socket) -> tuple[bytes, int]:
     any header byte also raises :class:`TruncatedFrameError` — the caller
     decides whether "peer hung up between frames" is an error.
     """
-    header = _recv_exact(sock, HEADER.size)
-    length = decode_header(header)
-    payload = _recv_exact(sock, length)
+    san = _sanitizer()
+    if san is not None:
+        san.frame_begin(sock, "recv")
+    try:
+        header = _recv_exact(sock, HEADER.size)
+        length = decode_header(header)
+        payload = _recv_exact(sock, length)
+    except WireError:
+        if san is not None:
+            san.frame_break(sock)
+        raise
+    if san is not None:
+        san.frame_end(sock)
     return payload, HEADER.size + length
 
 

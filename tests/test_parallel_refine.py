@@ -177,6 +177,98 @@ class TestPoolLifecycle:
         assert parallel_refine.PARALLEL_MIN_RANKS >= 256
 
 
+def _zero_degree_level(num_ranks: int) -> dict[str, np.ndarray]:
+    """Minimal publishable level: zero-degree ranks, all gains 0.0."""
+    return {
+        "work_buf": np.arange(num_ranks, dtype=np.int64),
+        "rank_indptr": np.zeros(num_ranks + 1, dtype=np.int64),
+        "rank_side": np.zeros(num_ranks, dtype=np.int8),
+        "pc": np.zeros(2, dtype=np.int64),
+        "gm_slot2": np.zeros(0, dtype=np.int64),
+        "gm_col_even": np.zeros(0, dtype=np.int64),
+        "removal_table": np.zeros((1, 2), dtype=np.float64),
+        "insertion_table": np.zeros((1, 2), dtype=np.float64),
+        "gain_cache": np.zeros(num_ranks, dtype=np.float64),
+    }
+
+
+class TestWorkerDeath:
+    """A SIGKILLed worker must produce a prompt, named error — not a hang."""
+
+    def test_sigkill_mid_dispatch_raises_named_error_fast(self):
+        import os
+        import signal
+        import time
+
+        pool = ParallelGainPool(2, step_timeout=60.0)
+        try:
+            pool.publish_level(_zero_degree_level(16), has_qw=False)
+            victim = pool._workers[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+            started = time.monotonic()
+            with pytest.raises((RuntimeError, TimeoutError), match="refine worker 1"):
+                pool.compute_gains(np.array([0, 8, 16], dtype=np.int64))
+            # Death detection, not the 60 s barrier timeout.
+            assert time.monotonic() - started < 30.0
+        finally:
+            pool.close()
+
+    def test_failed_pool_is_poisoned_with_clear_error(self):
+        import os
+        import signal
+
+        pool = ParallelGainPool(2)
+        try:
+            pool.publish_level(_zero_degree_level(8), has_qw=False)
+            victim = pool._workers[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+            with pytest.raises((RuntimeError, TimeoutError)):
+                pool.compute_gains(np.array([0, 4, 8], dtype=np.int64))
+            # Every later dispatch names the poisoned state, not a new hang.
+            with pytest.raises(RuntimeError, match="unusable"):
+                pool.compute_gains(np.array([0, 4, 8], dtype=np.int64))
+        finally:
+            pool.close()
+
+    def test_drop_level_after_failure_releases_segment(self):
+        import os
+        import signal
+
+        pool = ParallelGainPool(2)
+        try:
+            pool.publish_level(_zero_degree_level(8), has_qw=False)
+            os.kill(pool._workers[0].pid, signal.SIGKILL)
+            pool._workers[0].join(timeout=10)
+            with pytest.raises((RuntimeError, TimeoutError)):
+                pool.compute_gains(np.array([0, 4, 8], dtype=np.int64))
+            # The segment is reclaimed even though the protocol is dead...
+            pool.drop_level()
+            assert "level" not in pool._pool
+            # ...and dropping again stays a no-op.
+            pool.drop_level()
+        finally:
+            pool.close()
+
+
+class TestPackLifecycle:
+    def test_release_unknown_key_is_noop(self):
+        with SharedArrayPool() as pool:
+            pool.release("never-published")
+
+    def test_pack_close_is_idempotent(self):
+        pack = SharedArrayPack.create({"v": np.arange(4)})
+        pack.close()
+        pack.close()
+
+    def test_closed_pack_refuses_views(self):
+        pack = SharedArrayPack.create({"v": np.arange(4)})
+        pack.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pack.arrays()
+
+
 class TestSparseS3:
     """Sparse pair-compact S3 aggregation vs the dense grid / dict path."""
 

@@ -35,13 +35,17 @@ def codes(report) -> list[str]:
 # framework basics
 # ----------------------------------------------------------------------
 
-def test_all_six_rules_are_registered():
+def test_all_nine_rules_are_registered():
     assert LINT_CHECKS.names() == [
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+        "REP007", "REP008", "REP009",
     ]
     # aliases resolve like every other registry
     assert LINT_CHECKS.canonical("unseeded-rng") == "REP001"
     assert LINT_CHECKS.canonical("rep002") == "REP002"
+    assert LINT_CHECKS.canonical("shared-write-disjointness") == "REP007"
+    assert LINT_CHECKS.canonical("pipe-protocol-pairing") == "REP008"
+    assert LINT_CHECKS.canonical("frame-api-misuse") == "REP009"
 
 
 def test_select_and_ignore_narrow_the_run(tmp_path):
@@ -291,6 +295,210 @@ def test_rep006_scope_excludes_driver_code(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# REP007 shared-write-disjointness
+# ----------------------------------------------------------------------
+
+WORKER_HEAD = (
+    "def worker(handle, conn):\n"
+    "    pack = SharedArrayPack.attach(handle)\n"
+    "    views = pack.arrays(writeable=True)\n"
+    "    lo, hi = conn.recv()\n"
+)
+
+
+@pytest.mark.parametrize("bad_tail", [
+    # whole-array write ignores the dispatched bounds
+    '    views["gain_cache"][:] = 1.0\n',
+    # scalar index not derived from the dispatch
+    '    views["gain_cache"][0] = 1.0\n',
+    # rebinding the shared entry replaces the segment view
+    '    views["gain_cache"] = compute()\n',
+    # reading back an array workers write in this window: the legal
+    # bounds-derived write makes gain_cache hot, the whole-array read races
+    (
+        '    views["gain_cache"][lo:hi] = 1.0\n'
+        '    total = views["gain_cache"].sum()\n'
+    ),
+])
+def test_rep007_flags(tmp_path, bad_tail):
+    source = WORKER_HEAD + bad_tail
+    assert "REP007" in codes(run_lint(tmp_path, source, select=["REP007"]))
+
+
+@pytest.mark.parametrize("good_tail", [
+    # the real worker idiom: scatter into the dispatched rank slice
+    (
+        '    ranks = views["work_buf"][lo:hi]\n'
+        '    views["gain_cache"][ranks] = 0.5\n'
+    ),
+    # bounds-derived contiguous slice
+    '    views["gain_cache"][lo:hi] = 0.5\n',
+    # reads of arrays nobody writes in the window are fine
+    '    x = float(views["rank_side"][lo])\n',
+])
+def test_rep007_allows(tmp_path, good_tail):
+    source = WORKER_HEAD + good_tail
+    assert codes(run_lint(tmp_path, source, select=["REP007"])) == []
+
+
+def test_rep007_ignores_non_worker_scope(tmp_path):
+    # No attach() anywhere: master-side code may build writeable views.
+    source = (
+        "def owner(pool):\n"
+        '    views = pool.arrays("level", writeable=True)\n'
+        '    views["gain_cache"][:] = 0.0\n'
+    )
+    assert codes(run_lint(tmp_path, source, select=["REP007"])) == []
+
+
+# ----------------------------------------------------------------------
+# REP008 pipe-protocol-pairing
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    # dispatch with no barrier before exit
+    (
+        "def master(conns):\n"
+        "    for c in conns:\n"
+        '        c.send(("gains", 0, 4))\n'
+    ),
+    # close() while a dispatch is outstanding
+    (
+        "def master(conn):\n"
+        '    conn.send(("level", 1))\n'
+        "    conn.close()\n"
+    ),
+    # handler swallows a failed barrier without reacting
+    (
+        "def master(conn):\n"
+        '    conn.send(("step", 1))\n'
+        "    try:\n"
+        "        reply = conn.recv()\n"
+        "    except OSError:\n"
+        "        pass\n"
+    ),
+    # raise with a dispatch outstanding skips the barrier
+    (
+        "def master(conn, bad):\n"
+        '    conn.send(("step", 1))\n'
+        "    if bad:\n"
+        '        raise RuntimeError("abandoning the dispatch")\n'
+        "    conn.recv()\n"
+    ),
+])
+def test_rep008_flags(tmp_path, bad):
+    assert "REP008" in codes(run_lint(tmp_path, bad, select=["REP008"]))
+
+
+@pytest.mark.parametrize("good", [
+    # the canonical dispatch/barrier pairing
+    (
+        "def master(conns):\n"
+        "    for c in conns:\n"
+        '        c.send(("gains", 0, 4))\n'
+        "    for c in conns:\n"
+        "        c.recv()\n"
+    ),
+    # a handler that reacts (marks the peer dead) is a failover, not a swallow
+    (
+        "def master(conn):\n"
+        '    conn.send(("step", 1))\n'
+        "    try:\n"
+        "        reply = conn.recv()\n"
+        "    except OSError:\n"
+        "        mark_dead(conn)\n"
+    ),
+    # barrier discharged in a finally covers the exception path
+    (
+        "def master(conn):\n"
+        '    conn.send(("step", 1))\n'
+        "    try:\n"
+        "        check()\n"
+        "    finally:\n"
+        "        conn.recv()\n"
+    ),
+])
+def test_rep008_allows(tmp_path, good):
+    assert codes(run_lint(tmp_path, good, select=["REP008"])) == []
+
+
+def test_rep008_fire_and_forget_kind_mined_from_service_loop(tmp_path):
+    # The worker loop declares 'exit' reply-less, so the master's
+    # un-received exit send is fine; 'work' still demands a barrier.
+    source = (
+        "def worker(conn):\n"
+        "    while True:\n"
+        "        msg = conn.recv()\n"
+        '        if msg[0] == "work":\n'
+        '            conn.send(("done",))\n'
+        '        elif msg[0] == "exit":\n'
+        "            return\n"
+        "\n"
+        "def shutdown(conn):\n"
+        '    conn.send(("exit",))\n'
+        "    conn.close()\n"
+        "\n"
+        "def bad_dispatch(conn):\n"
+        '    conn.send(("work", 1))\n'
+    )
+    report = run_lint(tmp_path, source, select=["REP008"])
+    found = codes(report)
+    assert found == ["REP008"]  # only bad_dispatch; shutdown is clean
+    assert "work" in report.unsuppressed[0].message
+
+
+def test_rep008_aliased_payload_tuple_is_tracked(tmp_path):
+    # backend_rpc idiom: the payload tuple is built first, sent by name.
+    source = (
+        "def master(conn):\n"
+        '    payload = ("step", 1, 2)\n'
+        "    conn.send(payload)\n"
+    )
+    assert "REP008" in codes(run_lint(tmp_path, source, select=["REP008"]))
+
+
+# ----------------------------------------------------------------------
+# REP009 frame-api-misuse
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    # byte count discarded outright
+    "def f(sock):\n    send_obj(sock, ('init', {}))\n",
+    # bound to underscore
+    "def f(sock):\n    _ = send_obj(sock, ('init', {}))\n",
+    # unpacked into underscore
+    "def f(sock):\n    reply, _ = recv_obj(sock)\n    return reply\n",
+    # raw socket op interleaved on a framed connection
+    (
+        "def f(sock):\n"
+        "    n = send_obj(sock, ('init', {}))\n"
+        "    sock.recv(4)\n"
+        "    return n\n"
+    ),
+])
+def test_rep009_flags(tmp_path, bad):
+    assert "REP009" in codes(run_lint(tmp_path, bad, select=["REP009"]))
+
+
+@pytest.mark.parametrize("good", [
+    # metered into an accumulator
+    "def f(sock, wire):\n    wire += send_obj(sock, ('init', {}))\n    return wire\n",
+    # both returns consumed
+    "def f(sock):\n    reply, nbytes = recv_obj(sock)\n    return reply, nbytes\n",
+    # raw ops on a socket that never carries frames are out of scope
+    "def f(raw):\n    raw.send(b'x')\n    return raw.recv(4)\n",
+])
+def test_rep009_allows(tmp_path, good):
+    assert codes(run_lint(tmp_path, good, select=["REP009"])) == []
+
+
+def test_rep009_exempts_the_wire_module_itself():
+    wire = REPO / "src/repro/distributed/wire.py"
+    report = lint_paths([wire], select=["REP009"])
+    assert codes(report) == []
+
+
+# ----------------------------------------------------------------------
 # suppressions
 # ----------------------------------------------------------------------
 
@@ -402,6 +610,16 @@ def test_cli_flags_the_committed_known_bad_fixture(capsys):
     hit = {f["code"] for f in payload["findings"]}
     # every per-file rule must fire on the fixture (REP005 is project-wide)
     assert {"REP001", "REP002", "REP003", "REP004", "REP006"} <= hit
+
+
+def test_cli_flags_the_committed_concurrency_fixture(capsys):
+    fixture = REPO / "tests/reprolint_fixtures/known_bad_concurrency.py"
+    exit_code = cli_main(["lint", "--format", "json", str(fixture)])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code > 0
+    hit = {f["code"] for f in payload["findings"]}
+    # all three concurrency rules must fire, or the gate has gone no-op
+    assert {"REP007", "REP008", "REP009"} <= hit
 
 
 # ----------------------------------------------------------------------
