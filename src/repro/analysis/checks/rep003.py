@@ -10,9 +10,15 @@ therefore declare a fixed-width, explicit-endianness dtype string
 (``"<i8"``, ``"<f8"``, ``">u4"``, ...; single-byte ``"i1"``/``"u1"``/
 ``"b1"``/``"?"`` need no byte order).
 
-The check validates every ``MessageSchema(...)`` call whose fields are
-literal tuples; a non-literal fields expression is flagged too, because a
-schema the analyzer cannot see is a schema reviewers cannot audit.
+The same contract covers ``StoreSchema``: the on-disk ``.rgs`` graph
+store is mmap-ed on whatever host opens it, so its section dtypes must be
+byte-order-explicit for the file to be portable (and for readers to
+refuse, rather than reinterpret, foreign-endian data).
+
+The check validates every ``MessageSchema(...)`` / ``StoreSchema(...)``
+call whose fields are literal tuples; a non-literal fields expression is
+flagged too, because a schema the analyzer cannot see is a schema
+reviewers cannot audit.
 """
 
 from __future__ import annotations
@@ -48,10 +54,15 @@ def dtype_problem(dtype: object) -> str | None:
     return f"dtype {dtype!r} is not a fixed-width explicit-endian dtype"
 
 
+#: schema constructors whose field dtypes cross process/host/disk
+#: boundaries and therefore must be wire-exact.
+_SCHEMA_CALLS = {"MessageSchema", "StoreSchema"}
+
+
 @LINT_CHECKS.register(
     "REP003",
     aliases=("wire-schema-exactness",),
-    doc="MessageSchema columns must be fixed-width, explicit-endian",
+    doc="MessageSchema/StoreSchema columns must be fixed-width, explicit-endian",
 )
 class WireSchemaExactness(Check):
     code = "REP003"
@@ -66,7 +77,7 @@ class WireSchemaExactness(Check):
             if not isinstance(node, ast.Call):
                 continue
             name = dotted_name(node.func)
-            if name is None or name.split(".")[-1] != "MessageSchema":
+            if name is None or name.split(".")[-1] not in _SCHEMA_CALLS:
                 continue
             fields = self._fields_expr(node)
             if fields is None:
@@ -74,8 +85,8 @@ class WireSchemaExactness(Check):
             if not isinstance(fields, (ast.Tuple, ast.List)):
                 findings.append(ctx.finding(
                     self, fields,
-                    "MessageSchema fields are not a literal tuple; declare "
-                    "columns inline so their dtypes can be audited",
+                    f"{name.split('.')[-1]} fields are not a literal tuple; "
+                    "declare columns inline so their dtypes can be audited",
                 ))
                 continue
             for elt in fields.elts:

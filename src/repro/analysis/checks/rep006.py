@@ -10,8 +10,10 @@ never be reproduced.  Timing belongs to the driver layer:
 
 Flagged (in ``distributed_shp/``, the engine/message kernels of
 ``distributed/``, the shared-memory segment plumbing
-(``distributed/shared_pool.py``), and the parallel level-fused refinement
-kernels ``core/parallel_refine.py`` / ``core/level_fuse.py``): any call
+(``distributed/shared_pool.py``), the parallel level-fused refinement
+kernels ``core/parallel_refine.py`` / ``core/level_fuse.py``, and the
+out-of-core graph store ``storage/`` whose converter must be a pure
+function of its source file): any call
 to ``time.time``, ``time.perf_counter``,
 ``time.monotonic``, ``time.process_time``, ``time.time_ns`` or their
 ``_ns`` variants, including from-imported spellings, plus
@@ -103,6 +105,10 @@ class WallclockInKernel(Check):
         "distributed/shared_pool.py",
         "core/parallel_refine.py",
         "core/level_fuse.py",
+        # The out-of-core store: converter output must be a pure function
+        # of the source file (spill-bucket planning included), and readers
+        # are mapped inside engine workers.
+        "storage/",
     )
 
     def run(self, ctx: FileContext) -> Iterable[Finding]:

@@ -25,6 +25,7 @@ from .spec import (
     GraphSpec,
     JobSpec,
     OutputSpec,
+    PipelineSpec,
     ServingSpec,
     SpecError,
     apply_overrides,
@@ -44,6 +45,7 @@ __all__ = [
     "ExecutionSpec",
     "ServingSpec",
     "OutputSpec",
+    "PipelineSpec",
     "JobSpec",
     "load_spec",
     "parse_override",

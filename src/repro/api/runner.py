@@ -170,7 +170,9 @@ def _run_local(spec: JobSpec, graph: BipartiteGraph) -> Any:
     return partitioner(graph, **kwargs)
 
 
-def _run_engine(spec: JobSpec, graph: BipartiteGraph) -> Any:
+def _run_engine(
+    spec: JobSpec, graph: BipartiteGraph, initial: np.ndarray | None = None
+) -> Any:
     """Vertex-centric engine run on the configured backend."""
     from ..core.config import SHPConfig
     from ..distributed import ClusterSpec
@@ -213,16 +215,21 @@ def _run_engine(spec: JobSpec, graph: BipartiteGraph) -> Any:
         vertex_mode=execution.vertex_mode,
         combiner=execution.combiner,
     )
-    return job.run(graph)
+    return job.run(graph, initial=initial)
 
 
-def _run_partition(spec: JobSpec, graph: BipartiteGraph, report: RunReport) -> None:
+def _run_partition(
+    spec: JobSpec,
+    graph: BipartiteGraph,
+    report: RunReport,
+    initial: np.ndarray | None = None,
+) -> None:
     start = time.perf_counter()
     if spec.execution.is_local:
         result = _run_local(spec, graph)
         label = spec.algorithm.name
     else:
-        result = _run_engine(spec, graph)
+        result = _run_engine(spec, graph, initial=initial)
         label = (
             f"{spec.algorithm.name}@{spec.execution.backend}"
             f"x{spec.execution.workers}"
@@ -278,6 +285,59 @@ def _run_partition(spec: JobSpec, graph: BipartiteGraph, report: RunReport) -> N
         for stats in result.history:
             report.metrics.append({"record": "iteration", **stats.row()})
     report.metrics.append({"record": "quality", **report.quality.row()})
+
+
+def _run_stream_refine(spec: JobSpec, graph: BipartiteGraph, report: RunReport) -> None:
+    """Streaming warm start, then distributed refinement from ``initial=``.
+
+    The warm-start stage runs the ``pipeline.warmstart`` partitioner (by
+    default the single-pass out-of-core ``streaming`` baseline) at the
+    refinement's *starting* granularity — 2-way for engine-mode-'2'
+    algorithms (recursive bisection descends from 2 buckets), k-way for
+    mode 'k' — and the vertex-centric engine refines from that labeling
+    instead of a random one.  Both stages are metered separately; the
+    whole pipeline is deterministic per seed.
+    """
+    from ..api.registry import BACKENDS
+
+    alg, execution, pipe = spec.algorithm, spec.execution, spec.pipeline
+    if execution.is_local:
+        raise SpecError(
+            "execution.backend: kind 'stream-refine' refines on the "
+            "vertex-centric engine; pick one of "
+            f"{', '.join(map(repr, BACKENDS.names()))}"
+        )
+    mode = PARTITIONERS.meta(alg.name).get("engine_mode")
+    if mode is None:
+        raise SpecError(
+            f"algorithm.name: kind 'stream-refine' needs an engine-capable "
+            f"refinement algorithm "
+            f"({', '.join(n for n in PARTITIONERS.names() if PARTITIONERS.meta(n).get('engine_mode'))}); "
+            f"got {alg.name!r}"
+        )
+    warm_k = 2 if mode == "2" else alg.k
+    warmstart = PARTITIONERS.get(pipe.warmstart)
+    start = time.perf_counter()
+    warm = warmstart(
+        graph, k=warm_k, epsilon=alg.epsilon, seed=spec.seed, **pipe.options
+    )
+    warm_sec = time.perf_counter() - start
+    warm_quality = evaluate_partition(graph, np.asarray(warm.assignment), warm_k)
+    _run_partition(spec, graph, report, initial=np.asarray(warm.assignment))
+    report.label = f"{pipe.warmstart}→{report.label}"
+    report.elapsed_sec += warm_sec
+    warm_row = {
+        "partitioner": pipe.warmstart,
+        "k": warm_k,
+        "sec": round(warm_sec, 3),
+        **warm_quality.row(),
+    }
+    report.meters["warmstart"] = warm_row
+    report.metrics.insert(0, {"record": "warmstart", **warm_row})
+    report.rows.insert(
+        0, {"algorithm": f"{pipe.warmstart} (warm start)", "sec": round(warm_sec, 2),
+            **warm_quality.row()},
+    )
 
 
 def _run_serving(spec: JobSpec, graph: BipartiteGraph, report: RunReport) -> None:
@@ -338,6 +398,8 @@ def run(
     report = RunReport(spec=spec, label="", graph_name=graph.name or "", elapsed_sec=0.0)
     if spec.kind == "serving":
         _run_serving(spec, graph, report)
+    elif spec.kind == "stream-refine":
+        _run_stream_refine(spec, graph, report)
     else:
         _run_partition(spec, graph, report)
     if spec.output.assignment and report.assignment is not None:

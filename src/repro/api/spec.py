@@ -51,6 +51,7 @@ __all__ = [
     "GraphSpec",
     "AlgorithmSpec",
     "ExecutionSpec",
+    "PipelineSpec",
     "ServingSpec",
     "OutputSpec",
     "JobSpec",
@@ -60,7 +61,7 @@ __all__ = [
 ]
 
 GRAPH_SOURCES = ("file", "dataset", "darwini")
-JOB_KINDS = ("partition", "serving")
+JOB_KINDS = ("partition", "serving", "stream-refine")
 LEVEL_MODES = ("fused", "loop")
 VERTEX_MODES = ("columnar", "dict")
 SERVING_METHODS = ("2", "k")
@@ -308,6 +309,32 @@ class ExecutionSpec:
 
 
 @dataclass(frozen=True)
+class PipelineSpec:
+    """The warm-start stage of a ``kind = 'stream-refine'`` job.
+
+    ``warmstart`` names any :data:`~repro.api.registry.PARTITIONERS` entry
+    used to produce the initial assignment — by default ``"streaming"``,
+    the single-pass out-of-core partitioner, which is the configuration
+    that scales past RAM.  ``options`` is forwarded verbatim to the
+    warm-start partitioner.  The refinement stage is described by the
+    ordinary ``[algorithm]`` / ``[execution]`` tables: the runner hands
+    the warm assignment to the distributed engine via ``initial=``.
+    """
+
+    warmstart: str = "streaming"
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        p = "pipeline"
+        _check_registry(self.warmstart, PARTITIONERS, f"{p}.warmstart")
+        _check_type(self.options, Mapping, f"{p}.options")
+        for key in self.options:
+            _check_type(key, str, f"{p}.options key")
+        if not isinstance(self.options, dict):
+            object.__setattr__(self, "options", dict(self.options))
+
+
+@dataclass(frozen=True)
 class ServingSpec:
     """The online serving scenario (kind = 'serving')."""
 
@@ -371,6 +398,7 @@ class JobSpec:
     graph: GraphSpec = field(default_factory=GraphSpec)
     algorithm: AlgorithmSpec = field(default_factory=AlgorithmSpec)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+    pipeline: PipelineSpec = field(default_factory=PipelineSpec)
     serving: ServingSpec = field(default_factory=ServingSpec)
     output: OutputSpec = field(default_factory=OutputSpec)
 
@@ -397,6 +425,7 @@ class JobSpec:
             "graph": GraphSpec,
             "algorithm": AlgorithmSpec,
             "execution": ExecutionSpec,
+            "pipeline": PipelineSpec,
             "serving": ServingSpec,
             "output": OutputSpec,
         }

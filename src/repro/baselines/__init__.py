@@ -32,12 +32,14 @@ from .resource_model import (
 )
 from .simple import hash_partitioner, random_partitioner
 from .spectral import spectral_partitioner
+from .streaming import streaming_partitioner
 
 __all__ = [
     "get_partitioner",
     "partitioner_names",
     "random_partitioner",
     "hash_partitioner",
+    "streaming_partitioner",
     "label_propagation_partitioner",
     "MultilevelPartitioner",
     "multilevel_partition",
@@ -63,6 +65,9 @@ Partitioner = Callable[..., PartitionResult]
 PARTITIONERS.register("random")(random_partitioner)
 PARTITIONERS.register("hash")(hash_partitioner)
 PARTITIONERS.register("label-prop")(label_propagation_partitioner)
+# Single-pass out-of-core warm start (HYPE-style neighborhood expansion);
+# the first stage of the stream-then-refine pipeline.
+PARTITIONERS.register("streaming")(streaming_partitioner)
 
 
 @PARTITIONERS.register("shp-k", accepts=("p", "objective"), engine_mode="k")

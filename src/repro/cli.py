@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``):
     repro evaluate INPUT.hgr assignment.txt -k 16
     repro compare INPUT.hgr -k 16 --objective cliquenet
     repro generate soc-Pokec --scale 0.01 -o pokec.hgr
+    repro convert pokec.hgr pokec.rgs
     repro serve-sim --servers 16 --rounds 3 --queries 2000
     repro datasets
     repro rpc-worker --port 7077
@@ -17,7 +18,8 @@ Every execution subcommand (``run``, ``partition``, ``compare``,
 :func:`repro.api.run` runner, so legacy flags and spec files produce
 bitwise-identical assignments per seed.  Input formats are detected from
 the extension: ``.hgr`` (hMetis), ``.tsv`` (query/data edge list), ``.npz``
-(this package's archive format).  Assignments are written as plain text
+(this package's archive format), ``.rgs`` (the mmap-able binary store —
+``repro convert`` produces it).  Assignments are written as plain text
 (one bucket id per line) or as an ``.npz`` archive, by output extension.
 """
 
@@ -167,6 +169,34 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {exc}") from exc
     stats = graph_stats(graph)
     print(format_table([stats.row()], title=f"generated {args.dataset} -> {args.output}"))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    """Stream-convert a graph into the mmap-able ``.rgs`` binary store."""
+    from .storage import StorageError, convert_to_store
+
+    try:
+        header = convert_to_store(
+            args.input, args.output, chunk_edges=args.chunk_edges, name=args.name
+        )
+    except (GraphValidationError, StorageError, OSError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    out_bytes = Path(args.output).stat().st_size
+    print(
+        format_table(
+            [
+                {
+                    "queries": header.num_queries,
+                    "data": header.num_data,
+                    "edges": header.num_edges,
+                    "sections": len(header.sections),
+                    "MiB": round(out_bytes / (1 << 20), 2),
+                }
+            ],
+            title=f"converted {args.input} -> {args.output}",
+        )
+    )
     return 0
 
 
@@ -398,6 +428,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="write assignment (.npz archive, or plain text one bucket per line)",
     )
     p.set_defaults(func=_cmd_partition)
+
+    cv = sub.add_parser(
+        "convert",
+        help="stream-convert a graph to the mmap-able .rgs binary store "
+        "(bounded memory; see docs/architecture.md 'Storage layer')",
+    )
+    cv.add_argument("input", help="source graph (.hgr / .tsv / .npz)")
+    cv.add_argument("output", help="output store file (.rgs)")
+    cv.add_argument(
+        "--chunk-edges", type=int, default=1 << 20,
+        help="edges held in memory at once during conversion (default: ~1M)",
+    )
+    cv.add_argument(
+        "--name", default=None,
+        help="dataset name stamped into the store header (default: input stem)",
+    )
+    cv.set_defaults(func=_cmd_convert)
 
     e = sub.add_parser("evaluate", help="evaluate an existing assignment")
     e.add_argument("input", help="graph file")

@@ -122,10 +122,17 @@ def _worker_main(worker_id: int, conn, init: dict) -> None:
             worker_of = dict(zip(ids.tolist(), assignment.tolist()))
 
         graph = None
-        if init["graph_handle"] is not None:
+        if init.get("graph_store") is not None:
+            # Store-backed graph: map the file directly instead of a
+            # shared-memory copy — co-located workers share page-cache
+            # pages, and the init message carried only the path.
+            from ..storage import open_store_view
+
+            graph = open_store_view(init["graph_store"])
+        elif init["graph_handle"] is not None:
             graph, graph_pack = attach_graph(init["graph_handle"], init["graph_meta"])
-            if not batch_mode and hasattr(program, "bind_graph"):
-                program.bind_graph(graph)
+        if graph is not None and not batch_mode and hasattr(program, "bind_graph"):
+            program.bind_graph(graph)
 
         partition = None
         if batch_mode:
@@ -280,10 +287,17 @@ class MultiprocessBackend(Backend):
 
         graph_handle = None
         graph_meta = None
+        graph_store = None
         if engine._graph is not None:
-            graph_pack, graph_meta = share_graph(engine._graph)
-            self._pool.adopt("graph", graph_pack)
-            graph_handle = graph_pack.handle
+            store_path = getattr(engine._graph, "store_path", None)
+            if store_path is not None:
+                # Store-backed graph: workers mmap the file themselves; no
+                # shared-memory copy, the init message ships only the path.
+                graph_store = str(store_path)
+            else:
+                graph_pack, graph_meta = share_graph(engine._graph)
+                self._pool.adopt("graph", graph_pack)
+                graph_handle = graph_pack.handle
 
         self._workers = []
         self._conns = []
@@ -302,6 +316,7 @@ class MultiprocessBackend(Backend):
                 "placement_handle": placement_handle,
                 "graph_handle": graph_handle,
                 "graph_meta": graph_meta,
+                "graph_store": graph_store,
             }
             proc = ctx.Process(
                 target=_worker_main,

@@ -1,0 +1,51 @@
+"""Out-of-core graph storage: the ``.rgs`` binary columnar store.
+
+The subsystem has three layers:
+
+* :mod:`repro.storage.format` — the on-disk format: magic + versioned
+  header, explicit-endian section catalogue (:data:`STORE_SCHEMA`), the
+  sequential :class:`StoreWriter`, and the wire-style error taxonomy
+  (:class:`StoreFormatError` / :class:`TruncatedStoreError`).
+* :mod:`repro.storage.store` — :class:`GraphStore` readers:
+  zero-copy mmap views that duck-type :class:`BipartiteGraph`
+  (:class:`StoreBackedGraph`), partition-slice readers for distributed
+  workers, and the direct :func:`write_store` path.
+* :mod:`repro.storage.convert` — :func:`convert_to_store`, the
+  bounded-RSS spill-and-merge converter from hMetis / edge-list / npz.
+
+See docs/architecture.md ("Storage layer") for the format specification.
+"""
+
+from .convert import CONVERT_SUFFIXES, convert_to_store
+from .format import (
+    FORMAT_VERSION,
+    MAGIC,
+    STORE_SCHEMA,
+    StoreFormatError,
+    StoreHeader,
+    StoreSchema,
+    StoreWriter,
+    StorageError,
+    TruncatedStoreError,
+    read_header,
+)
+from .store import GraphStore, StoreBackedGraph, open_store_view, write_store
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "STORE_SCHEMA",
+    "StoreSchema",
+    "StoreHeader",
+    "StoreWriter",
+    "StorageError",
+    "StoreFormatError",
+    "TruncatedStoreError",
+    "read_header",
+    "GraphStore",
+    "StoreBackedGraph",
+    "open_store_view",
+    "write_store",
+    "convert_to_store",
+    "CONVERT_SUFFIXES",
+]

@@ -1,0 +1,28 @@
+"""Deliberately invariant-violating storage module for the lint self-check.
+
+Counterpart of ``known_bad.py`` for the out-of-core graph store rules:
+every statement here trips a REP rule the ``.rgs`` format depends on.  CI
+lints this file and asserts the linter *fails* — if a refactor ever makes
+the analyzer pass this file, the storage gate has gone no-op.  Never
+"fix" this module.
+"""
+
+import time
+
+import numpy as np
+
+from repro.storage import StoreSchema
+
+BAD_STORE_SCHEMA = StoreSchema(fields=(
+    ("q_indptr", "i8"),                            # REP003: native byte order
+    ("q_indices", "int64"),                        # REP003: platform-width alias
+    ("blob", "object"),                            # REP003: pickled section
+))
+
+OPAQUE_SCHEMA = StoreSchema(fields=make_fields())  # REP003: unauditable  # noqa: F821
+
+
+def plan_spill_buckets(degrees):
+    salt = np.random.default_rng()                 # REP001: unseeded bucket salt
+    stamp = time.perf_counter()                    # REP006: clock in convert path
+    return degrees + salt.integers(0, 4, degrees.size), stamp

@@ -1,4 +1,4 @@
-"""Round-trip tests for hMetis / edge-list / NPZ serialization."""
+"""Round-trip tests for hMetis / edge-list / NPZ / store serialization."""
 
 from __future__ import annotations
 
@@ -17,6 +17,7 @@ from repro.hypergraph import (
     write_edge_list,
     write_hmetis,
 )
+from repro.hypergraph.io import load_graph, save_graph
 
 
 def _graphs_equal(a: BipartiteGraph, b: BipartiteGraph) -> bool:
@@ -25,6 +26,34 @@ def _graphs_equal(a: BipartiteGraph, b: BipartiteGraph) -> bool:
         and a.num_data == b.num_data
         and np.array_equal(a.q_indptr, b.q_indptr)
         and np.array_equal(np.sort(a.q_indices), np.sort(b.q_indices))
+    )
+
+
+def _reference_read_hmetis(handle, name: str = "") -> BipartiteGraph:
+    """The pre-streaming reader (per-edge Python lists), kept as the pin
+    for the chunked parser: both must produce identical graphs."""
+    header = handle.readline().split()
+    num_edges, num_vertices = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    has_edge_weights = fmt in ("1", "11")
+    has_vertex_weights = fmt in ("10", "11")
+    qs: list[int] = []
+    ds: list[int] = []
+    edge_weights = np.empty(num_edges) if has_edge_weights else None
+    for qid in range(num_edges):
+        fields = handle.readline().split()
+        if has_edge_weights:
+            edge_weights[qid] = float(fields[0])
+            fields = fields[1:]
+        for f in fields:
+            qs.append(qid)
+            ds.append(int(f) - 1)
+    weights = None
+    if has_vertex_weights:
+        weights = np.array([float(handle.readline().split()[0]) for _ in range(num_vertices)])
+    return BipartiteGraph.from_edges(
+        qs, ds, num_queries=num_edges, num_data=num_vertices,
+        data_weights=weights, query_weights=edge_weights, name=name,
     )
 
 
@@ -111,6 +140,56 @@ class TestHMetis:
         loaded = read_hmetis(path)
         assert _graphs_equal(tiny_graph, loaded)
 
+    def test_fractional_data_weights_round_trip_exact(self):
+        """Regression: the writer rounded vertex weights to ints, so
+        fractional data_weights silently corrupted on round-trip (the
+        same bug PR 4 fixed for query_weights)."""
+        dw = np.array([1.25, 0.5, 3.0])
+        g = BipartiteGraph.from_hyperedges([[0, 1], [1, 2]], num_data=3, data_weights=dw)
+        buffer = io.StringIO()
+        write_hmetis(g, buffer)
+        buffer.seek(0)
+        loaded = read_hmetis(buffer)
+        assert np.array_equal(np.asarray(loaded.data_weights), dw)
+
+    @pytest.mark.parametrize("chunk_edges", [1, 3, 7, 1 << 18])
+    def test_chunked_reader_pins_reference(self, medium_graph, chunk_edges, tmp_path):
+        """The streaming chunked parser must produce graphs identical to
+        the old materialize-everything reader at every chunk size."""
+        rng = np.random.default_rng(11)
+        g = BipartiteGraph.from_edges(
+            medium_graph.q_of_edge,
+            medium_graph.q_indices,
+            num_queries=medium_graph.num_queries,
+            num_data=medium_graph.num_data,
+            data_weights=rng.random(medium_graph.num_data) + 0.5,
+            query_weights=rng.random(medium_graph.num_queries) + 0.1,
+        )
+        path = tmp_path / "m.hgr"
+        write_hmetis(g, path)
+        with open(path, encoding="utf-8") as handle:
+            reference = _reference_read_hmetis(handle)
+        chunked = read_hmetis(path, chunk_edges=chunk_edges)
+        assert _graphs_equal(reference, chunked)
+        assert np.array_equal(reference.d_indptr, chunked.d_indptr)
+        assert np.array_equal(reference.d_indices, chunked.d_indices)
+        assert np.array_equal(
+            np.asarray(reference.data_weights), np.asarray(chunked.data_weights)
+        )
+        assert np.array_equal(
+            np.asarray(reference.query_weights), np.asarray(chunked.query_weights)
+        )
+
+    def test_chunked_reader_pins_reference_tiny(self, tiny_graph, tmp_path):
+        path = tmp_path / "t.hgr"
+        write_hmetis(tiny_graph, path)
+        with open(path, encoding="utf-8") as handle:
+            reference = _reference_read_hmetis(handle)
+        for chunk_edges in (1, 2, 1024):
+            chunked = read_hmetis(path, chunk_edges=chunk_edges)
+            assert _graphs_equal(reference, chunked)
+            assert np.array_equal(reference.d_indices, chunked.d_indices)
+
 
 class TestEdgeList:
     def test_round_trip(self, tiny_graph):
@@ -157,3 +236,53 @@ class TestNpz:
         assert np.allclose(loaded.query_weights, qw)
         assert np.allclose(loaded.data_weights, dw)
         assert _graphs_equal(g, loaded)
+
+    def test_fractional_data_weights_exact(self, tmp_path):
+        """data_weights round-trip bit-exact through the NPZ archive,
+        including 2-D multi-dimensional balance weights."""
+        dw = np.array([[1.25, 2.0], [0.5, 1.0], [3.75, 0.125]])
+        g = BipartiteGraph.from_hyperedges([[0, 1], [1, 2]], num_data=3, data_weights=dw)
+        path = tmp_path / "dw.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        assert np.array_equal(np.asarray(loaded.data_weights), dw)
+
+
+class TestDispatch:
+    """Extension dispatch in load_graph / save_graph, including ``.rgs``."""
+
+    @pytest.mark.parametrize("suffix", [".hgr", ".tsv", ".npz", ".rgs"])
+    def test_round_trip_by_extension(self, tiny_graph, tmp_path, suffix):
+        path = tmp_path / f"g{suffix}"
+        save_graph(tiny_graph, path)
+        loaded = load_graph(path)
+        assert _graphs_equal(tiny_graph, loaded)
+
+    def test_rgs_preserves_weights_and_structure(self, medium_graph, tmp_path):
+        rng = np.random.default_rng(5)
+        g = BipartiteGraph.from_edges(
+            medium_graph.q_of_edge,
+            medium_graph.q_indices,
+            num_queries=medium_graph.num_queries,
+            num_data=medium_graph.num_data,
+            data_weights=rng.random(medium_graph.num_data) + 0.5,
+            query_weights=rng.random(medium_graph.num_queries),
+            name="med",
+        )
+        path = tmp_path / "m.rgs"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        loaded.validate()
+        for attr in ("q_indptr", "q_indices", "d_indptr", "d_indices"):
+            assert np.array_equal(getattr(g, attr), getattr(loaded, attr))
+        assert np.array_equal(np.asarray(g.data_weights), np.asarray(loaded.data_weights))
+        assert np.array_equal(
+            np.asarray(g.query_weights), np.asarray(loaded.query_weights)
+        )
+        assert loaded.name == "med"
+
+    def test_unknown_suffix_rejected(self, tiny_graph, tmp_path):
+        with pytest.raises(GraphValidationError):
+            load_graph(tmp_path / "g.bin")
+        with pytest.raises(GraphValidationError):
+            save_graph(tiny_graph, tmp_path / "g.bin")

@@ -153,6 +153,20 @@ def test_rep003_accepts_repo_schemas():
     assert codes(report) == []
 
 
+@pytest.mark.parametrize("bad_dtype", ["object", "f8", "i8", "int64"])
+def test_rep003_covers_store_schema(tmp_path, bad_dtype):
+    """The on-disk StoreSchema is held to the same wire-exactness bar as
+    MessageSchema — a native-endian section dtype is not portable."""
+    source = f'S = StoreSchema(fields=(("q_indptr", "{bad_dtype}"),))\n'
+    assert "REP003" in codes(run_lint(tmp_path, source, select=["REP003"]))
+
+
+def test_rep003_accepts_repo_store_schema():
+    fmt = REPO / "src/repro/storage/format.py"
+    report = lint_paths([fmt], select=["REP003"])
+    assert codes(report) == []
+
+
 # ----------------------------------------------------------------------
 # REP004 wire-pickle-safety
 # ----------------------------------------------------------------------
@@ -292,6 +306,19 @@ def test_rep006_scope_excludes_driver_code(tmp_path):
     backend = REPO / "src/repro/distributed/backend.py"
     report = lint_paths([backend], select=["REP006"])
     assert codes(report) == []  # backend.py times supersteps legitimately
+
+
+def test_rep006_scope_covers_storage():
+    """The converter/readers are kernel-grade: their output must be a pure
+    function of the source file, so storage/ sits inside REP006's scope
+    (and the committed storage modules lint clean under it)."""
+    from repro.analysis.checks.rep006 import WallclockInKernel
+
+    assert "storage/" in WallclockInKernel.scope
+    storage = sorted((REPO / "src/repro/storage").glob("*.py"))
+    assert storage, "storage package is missing"
+    report = lint_paths(storage, select=["REP006"])
+    assert codes(report) == []
 
 
 # ----------------------------------------------------------------------
@@ -620,6 +647,16 @@ def test_cli_flags_the_committed_concurrency_fixture(capsys):
     hit = {f["code"] for f in payload["findings"]}
     # all three concurrency rules must fire, or the gate has gone no-op
     assert {"REP007", "REP008", "REP009"} <= hit
+
+
+def test_cli_flags_the_committed_storage_fixture(capsys):
+    fixture = REPO / "tests/reprolint_fixtures/known_bad_storage.py"
+    exit_code = cli_main(["lint", "--format", "json", str(fixture)])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code > 0
+    hit = {f["code"] for f in payload["findings"]}
+    # the store-format rules must fire, or the storage gate has gone no-op
+    assert {"REP001", "REP003", "REP006"} <= hit
 
 
 # ----------------------------------------------------------------------
